@@ -1,0 +1,123 @@
+// Benchmarks regenerating every table and figure of EXPERIMENTS.md (one
+// Benchmark per experiment ID), plus micro-benchmarks of the individual
+// pipeline stages. Run:
+//
+//	go test -bench=. -benchmem                 # quick-mode suite
+//	go run ./cmd/overlaybench                  # full tables, human-readable
+package overlay
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/gapflow"
+	"repro/internal/gen"
+	"repro/internal/lpmodel"
+	"repro/internal/round"
+	"repro/internal/sim"
+)
+
+// runExp benchmarks one experiment in quick mode, reporting the rendered
+// table once under -v via b.Log.
+func runExp(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		for _, e := range exp.All() {
+			if e.ID == id {
+				tb := e.Run(exp.QuickConfig())
+				if i == 0 && testing.Verbose() {
+					b.Logf("\n%s", tb.String())
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkT1EndToEndApprox(b *testing.B)       { runExp(b, "T1") }
+func BenchmarkT2RoundingGuarantees(b *testing.B)   { runExp(b, "T2") }
+func BenchmarkT3ParameterTradeoff(b *testing.B)    { runExp(b, "T3") }
+func BenchmarkF3IntegralityGap(b *testing.B)       { runExp(b, "F3") }
+func BenchmarkT4ColorConstraints(b *testing.B)     { runExp(b, "T4") }
+func BenchmarkT5LossModel(b *testing.B)            { runExp(b, "T5") }
+func BenchmarkT6ISPFailure(b *testing.B)           { runExp(b, "T6") }
+func BenchmarkT7Scalability(b *testing.B)          { runExp(b, "T7") }
+func BenchmarkT8Baselines(b *testing.B)            { runExp(b, "T8") }
+func BenchmarkT9LiveEventScenario(b *testing.B)    { runExp(b, "T9") }
+func BenchmarkT10Bandwidth(b *testing.B)           { runExp(b, "T10") }
+func BenchmarkT11EdgeCapacities(b *testing.B)      { runExp(b, "T11") }
+func BenchmarkT12ChernoffTails(b *testing.B)       { runExp(b, "T12") }
+func BenchmarkT13MulticastTree(b *testing.B)       { runExp(b, "T13") }
+func BenchmarkT14IngestCaps(b *testing.B)          { runExp(b, "T14") }
+func BenchmarkT15CorrelatedOutages(b *testing.B)   { runExp(b, "T15") }
+func BenchmarkA1CuttingPlaneAblation(b *testing.B) { runExp(b, "A1") }
+func BenchmarkA2GapVsPathRounding(b *testing.B)    { runExp(b, "A2") }
+func BenchmarkA3RepairCost(b *testing.B)           { runExp(b, "A3") }
+
+// --- micro-benchmarks of the pipeline stages ---
+
+// BenchmarkStageLPSolve measures the exact simplex on the §2 relaxation —
+// per §5.1 this dominates the end-to-end running time.
+func BenchmarkStageLPSolve(b *testing.B) {
+	in := gen.Uniform(gen.DefaultUniform(2, 8, 20), 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lpmodel.SolveLP(in, lpmodel.DefaultOptions(in)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStageRounding measures the §3 randomized rounding alone.
+func BenchmarkStageRounding(b *testing.B) {
+	in := gen.Uniform(gen.DefaultUniform(2, 8, 20), 3)
+	fs, err := lpmodel.SolveLP(in, lpmodel.DefaultOptions(in))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		round.Apply(in, fs, round.DefaultOptions(uint64(i)))
+	}
+}
+
+// BenchmarkStageGAPFlow measures the §5 conversion-network rounding alone.
+func BenchmarkStageGAPFlow(b *testing.B) {
+	in := gen.Uniform(gen.DefaultUniform(2, 8, 20), 3)
+	fs, err := lpmodel.SolveLP(in, lpmodel.DefaultOptions(in))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := round.Apply(in, fs, round.DefaultOptions(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gapflow.Round(in, r.XBar)
+	}
+}
+
+// BenchmarkEndToEndSolve measures the full pipeline.
+func BenchmarkEndToEndSolve(b *testing.B) {
+	in := gen.Uniform(gen.DefaultUniform(2, 8, 20), 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Solve(in, core.DefaultOptions(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPacketSim measures simulator throughput (packets × sinks per op).
+func BenchmarkPacketSim(b *testing.B) {
+	in := gen.Uniform(gen.DefaultUniform(2, 8, 20), 3)
+	res, err := core.Solve(in, core.DefaultOptions(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultConfig(1)
+	cfg.Packets = 10000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(in, res.Design, cfg)
+	}
+	b.SetBytes(int64(cfg.Packets * in.NumSinks))
+}

@@ -1,0 +1,53 @@
+// Command overlaybench runs the experiment suite of EXPERIMENTS.md — every
+// table and figure validating the paper's claims — and prints the tables.
+//
+// Usage:
+//
+//	overlaybench                # full suite (minutes)
+//	overlaybench -quick         # reduced sizes (seconds)
+//	overlaybench -only T2,T5    # subset by experiment ID
+//	overlaybench -trials 20     # more seeds per cell
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		quick  = flag.Bool("quick", false, "reduced sizes/trials")
+		only   = flag.String("only", "", "comma-separated experiment IDs (default all)")
+		trials = flag.Int("trials", 0, "override trials per cell")
+	)
+	flag.Parse()
+
+	cfg := exp.DefaultConfig()
+	if *quick {
+		cfg = exp.QuickConfig()
+	}
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+	total := time.Now()
+	for _, e := range exp.All() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		start := time.Now()
+		tb := e.Run(cfg)
+		fmt.Println(tb.String())
+		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Printf("suite finished in %v\n", time.Since(total).Round(time.Millisecond))
+}

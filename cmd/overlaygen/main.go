@@ -1,0 +1,68 @@
+// Command overlaygen generates overlay-design problem instances as JSON.
+//
+// Usage:
+//
+//	overlaygen -kind uniform   -sources 2 -reflectors 10 -sinks 24 -seed 1 -o instance.json
+//	overlaygen -kind clustered -sources 2 -regions 3 -isps 2 -sinks-per-region 8 -seed 1
+//	overlaygen -kind macworld  -seed 1
+//	overlaygen -kind setcover  -elements 20 -sets 8 -seed 1
+//
+// With no -o the instance is written to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/netmodel"
+)
+
+func main() {
+	var (
+		kind       = flag.String("kind", "uniform", "instance family: uniform | clustered | macworld | setcover")
+		sources    = flag.Int("sources", 2, "number of sources/streams")
+		reflectors = flag.Int("reflectors", 10, "number of reflectors (uniform)")
+		sinks      = flag.Int("sinks", 24, "number of sinks (uniform)")
+		regions    = flag.Int("regions", 3, "regions (clustered)")
+		isps       = flag.Int("isps", 2, "ISPs = colors (clustered)")
+		perRegion  = flag.Int("sinks-per-region", 8, "sinks per region (clustered)")
+		elements   = flag.Int("elements", 20, "elements (setcover)")
+		sets       = flag.Int("sets", 8, "sets (setcover)")
+		seed       = flag.Uint64("seed", 1, "generator seed")
+		out        = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var in *netmodel.Instance
+	switch *kind {
+	case "uniform":
+		in = gen.Uniform(gen.DefaultUniform(*sources, *reflectors, *sinks), *seed)
+	case "clustered":
+		in = gen.Clustered(gen.DefaultClustered(*sources, *regions, *isps, *perRegion), *seed)
+	case "macworld":
+		in = gen.MacWorld(gen.DefaultMacWorld(), *seed)
+	case "setcover":
+		in = gen.SetCover(gen.SetCoverConfig{Elements: *elements, Sets: *sets, Density: 0.35}, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "overlaygen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if err := in.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "overlaygen: generated invalid instance: %v\n", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		if err := in.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "overlaygen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := in.SaveFile(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "overlaygen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d sources, %d reflectors, %d sinks\n", *out, in.NumSources, in.NumReflectors, in.NumSinks)
+}

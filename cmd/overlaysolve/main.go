@@ -1,0 +1,130 @@
+// Command overlaysolve runs the paper's approximation algorithm on an
+// instance JSON file, prints the audit, and optionally writes the design.
+//
+// Usage:
+//
+//	overlaysolve -in instance.json [-o design.json] [-seed 1] [-c 64]
+//	             [-greedy] [-exact] [-lp-only]
+//
+// -greedy and -exact run the baseline / exact IP solver instead of the
+// LP-rounding algorithm (exact is exponential: tiny instances only).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bnb"
+	"repro/internal/core"
+	"repro/internal/greedy"
+	"repro/internal/netmodel"
+)
+
+func main() {
+	var (
+		inPath  = flag.String("in", "", "instance JSON file (required)")
+		outPath = flag.String("o", "", "write the design JSON here")
+		seed    = flag.Uint64("seed", 1, "randomized-rounding seed")
+		c       = flag.Float64("c", 64, "rounding constant c (§3; 64 ⇒ δ=1/4)")
+		useG    = flag.Bool("greedy", false, "run the greedy baseline instead")
+		useX    = flag.Bool("exact", false, "run exact branch-and-bound instead (tiny instances!)")
+		lpOnly  = flag.Bool("lp-only", false, "solve the LP relaxation only")
+		repair  = flag.Bool("repair", false, "top coverage up to full demand after rounding (§7 heuristic)")
+		prior   = flag.String("prior", "", "prior design JSON for churn-aware re-solve (§1.3)")
+		sticky  = flag.Float64("stickiness", 0.5, "cost discount on prior arcs during re-solve, in [0,1)")
+	)
+	flag.Parse()
+	if *inPath == "" {
+		fmt.Fprintln(os.Stderr, "overlaysolve: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	in, err := netmodel.LoadFile(*inPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "overlaysolve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("instance %s: |S|=%d |R|=%d |D|=%d colors=%d\n",
+		in.Name, in.NumSources, in.NumReflectors, in.NumSinks, in.NumColors)
+
+	var design *netmodel.Design
+	start := time.Now()
+	switch {
+	case *useG:
+		g := greedy.Greedy(in)
+		design = g.Design
+		fmt.Printf("greedy: covered %d/%d sinks in %v\n", g.Covered, g.Demanding, time.Since(start).Round(time.Millisecond))
+	case *useX:
+		res, err := bnb.Solve(in, bnb.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "overlaysolve: %v\n", err)
+			os.Exit(1)
+		}
+		if res.Design == nil {
+			fmt.Fprintln(os.Stderr, "overlaysolve: no feasible integral design found")
+			os.Exit(1)
+		}
+		design = res.Design
+		fmt.Printf("exact IP: cost %.4f (optimal=%v, %d nodes) in %v\n",
+			res.Cost, res.Optimal, res.Nodes, time.Since(start).Round(time.Millisecond))
+	default:
+		opts := core.DefaultOptions(*seed)
+		opts.C = *c
+		opts.LPOnly = *lpOnly
+		opts.RepairCoverage = *repair
+		var res *core.Result
+		if *prior != "" {
+			pf, err := os.Open(*prior)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "overlaysolve: %v\n", err)
+				os.Exit(1)
+			}
+			priorDesign, err := netmodel.ReadDesignJSON(pf)
+			pf.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "overlaysolve: %v\n", err)
+				os.Exit(1)
+			}
+			re, err := core.Reoptimize(in, priorDesign, *sticky, opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "overlaysolve: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("churn-aware re-solve: %d service arcs changed, %d reflectors flipped\n",
+				re.ArcChurn, re.ReflectorChurn)
+			res = re.Result
+		} else {
+			res, err = core.Solve(in, opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "overlaysolve: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("LP relaxation: cost %.4f, %d vars, %d rows, %d pivots, %v\n",
+			res.LPCost, res.Timings.TotalVars, res.Timings.TotalRows, res.Timings.LPPivots, res.Timings.LP.Round(time.Microsecond))
+		if *lpOnly {
+			return
+		}
+		design = res.Design
+		fmt.Printf("algorithm: %s rounding, %d retries\n", map[bool]string{true: "§6.5 path", false: "§5 GAP"}[res.PathRounding], res.Retries)
+		fmt.Printf("cost ratio vs LP bound: %.3f\n", res.ApproxRatio())
+	}
+
+	audit := netmodel.AuditDesign(in, design)
+	fmt.Printf("audit: %v\n", audit)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "overlaysolve: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := netmodel.WriteDesignJSON(f, design); err != nil {
+			fmt.Fprintf(os.Stderr, "overlaysolve: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote design to %s\n", *outPath)
+	}
+}

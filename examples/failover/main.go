@@ -1,0 +1,80 @@
+// Failover loop: the §1.3 operational mode. The paper notes the algorithm
+// "can be rerun as often as needed so that the overlay network adapts to
+// changes in the link failure probabilities or costs." This example runs
+// three epochs: a healthy network, a degradation event (one region's
+// transit links turn lossy), and a recomputation that routes around it —
+// measuring delivered quality before and after the re-solve.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+
+	overlay "repro"
+)
+
+func main() {
+	// 3 ISPs: with §6.4 color constraints a sink gets at most one copy
+	// per ISP, so 3 ISPs leave enough diversity to survive a region-wide
+	// degradation (with 2 the degraded scenario is provably infeasible —
+	// an instructive property of the color model in its own right).
+	cfg := overlay.DefaultClusteredConfig(2, 3, 3, 6)
+	in := overlay.NewClusteredInstance(cfg, 12)
+
+	solveOpts := overlay.DefaultSolveOptions(5)
+	solveOpts.RepairCoverage = true
+
+	fmt.Println("=== epoch 1: healthy network, initial design ===")
+	res, err := overlay.Solve(in, solveOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(in, res)
+
+	// A degradation event: every link out of reflectors 0..(ISPs-1)
+	// (region 0's colos) jumps to 25% loss — a congested/failing transit
+	// provider, the middle-mile problem of §1.
+	fmt.Println("\n=== epoch 2: region-0 transit degrades to 25% loss, old design still in place ===")
+	degraded := in.Clone()
+	for i := 0; i < cfg.ISPs; i++ { // region 0's reflectors
+		for k := 0; k < degraded.NumSources; k++ {
+			degraded.SrcRefLoss[k][i] = 0.25
+		}
+		for j := 0; j < degraded.NumSinks; j++ {
+			degraded.RefSinkLoss[i][j] = 0.25
+		}
+	}
+	// The *old* design on the *new* loss reality:
+	oldAudit := overlay.AuditDesign(degraded, res.Design)
+	sim := overlay.Simulate(degraded, res.Design, overlay.DefaultSimConfig(3))
+	fmt.Printf("old design on degraded network: %d/%d sinks meet Φ (analytic), %d/%d (packet sim)\n",
+		oldAudit.MetDemand, oldAudit.Sinks, sim.MeetCount, sim.DemandingSinks)
+
+	fmt.Println("\n=== epoch 3: re-solve with measured losses (the §1.3 loop) ===")
+	solveOpts.Seed = 6
+	cold, err := overlay.Reoptimize(degraded, res.Design, 0, solveOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(degraded, cold.Result)
+	fmt.Printf("cold re-solve: %d service arcs changed\n", cold.ArcChurn)
+
+	sticky, err := overlay.Reoptimize(degraded, res.Design, 0.5, solveOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("churn-aware re-solve (stickiness 0.5): %d arcs changed, cost %.1f (cold %.1f)\n",
+		sticky.ArcChurn, sticky.Audit.Cost, cold.Audit.Cost)
+	fmt.Printf("quality after sticky re-solve: %d/%d sinks meet Φ\n",
+		sticky.Audit.MetDemand, sticky.Audit.Sinks)
+}
+
+func report(in *overlay.Instance, res *overlay.SolveResult) {
+	fmt.Printf("cost %.1f (LP bound %.1f), weight factor %.2f, sinks meeting Φ analytically: %d/%d\n",
+		res.Audit.Cost, res.LPCost, res.Audit.WeightFactor, res.Audit.MetDemand, res.Audit.Sinks)
+	sim := overlay.Simulate(in, res.Design, overlay.DefaultSimConfig(8))
+	fmt.Printf("packet sim: %d/%d meet Φ, mean post-reconstruction loss %.5f\n",
+		sim.MeetCount, sim.DemandingSinks, sim.MeanPostLoss)
+}

@@ -1,0 +1,69 @@
+// Live event: the §1 MacWorld-keynote scenario. Plans capacity the way the
+// paper's introduction does (50,000 viewers, 50 Mbps media servers), designs
+// the middle-mile overlay with the approximation algorithm, and validates
+// delivered quality with the packet simulator under both smooth and bursty
+// loss.
+//
+//	go run ./examples/liveevent
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	overlay "repro"
+	"repro/internal/sim"
+)
+
+func main() {
+	cfg := overlay.DefaultMacWorldConfig()
+
+	// --- The §1 capacity arithmetic. ---
+	viewers := cfg.EdgeServers * cfg.ViewersPerSink
+	aggGbps := float64(viewers) * cfg.StreamKbps / 1e6
+	servers := int(math.Ceil(aggGbps * 1000 / cfg.ReflectorMbps))
+	fmt.Println("=== server-bottleneck arithmetic (paper §1) ===")
+	fmt.Printf("viewers: %d × %.0f kbps = %.1f Gbps aggregate egress\n", viewers, cfg.StreamKbps, aggGbps)
+	fmt.Printf("at %.0f Mbps per media server: %d servers, spread across colos\n", cfg.ReflectorMbps, servers)
+	fmt.Printf("(the paper's event: 50,000 viewers, 16.5 Gbps peak, hundreds of servers)\n\n")
+
+	// --- Middle-mile overlay design (with the §7 repair pass so every
+	// edgeserver reaches the full quality target, not just W/4). ---
+	in := overlay.NewMacWorldInstance(cfg, 2)
+	opts := overlay.DefaultSolveOptions(11)
+	opts.RepairCoverage = true
+	res, err := overlay.Solve(in, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	built := 0
+	for _, b := range res.Design.Build {
+		if b {
+			built++
+		}
+	}
+	fmt.Println("=== overlay design ===")
+	fmt.Printf("edgeserver clusters: %d, reflector colos: %d (built %d)\n",
+		in.NumSinks, in.NumReflectors, built)
+	fmt.Printf("fanout per reflector: %.0f streams (%.0f Mbps / %.0f kbps)\n",
+		in.Fanout[0], cfg.ReflectorMbps, cfg.StreamKbps)
+	fmt.Printf("design cost %.1f vs LP bound %.1f (ratio %.2f)\n",
+		res.Audit.Cost, res.LPCost, res.ApproxRatio())
+	fmt.Printf("edgeservers meeting Φ=%.1f%% analytically: %d/%d\n\n",
+		cfg.Threshold*100, res.Audit.MetDemand, res.Audit.Sinks)
+
+	// --- Packet-level validation, smooth and bursty. ---
+	for _, mode := range []struct {
+		name  string
+		model sim.LossModel
+	}{{"iid loss", sim.IID}, {"bursty loss (Gilbert–Elliott)", sim.GilbertElliott}} {
+		scfg := overlay.DefaultSimConfig(5)
+		scfg.Packets = 60000
+		scfg.Model = mode.model
+		r := overlay.Simulate(in, res.Design, scfg)
+		fmt.Printf("=== packet simulation: %s ===\n", mode.name)
+		fmt.Printf("edgeservers meeting threshold: %d/%d, mean loss %.5f, worst %.5f\n\n",
+			r.MeetCount, r.DemandingSinks, r.MeanPostLoss, r.WorstPostLoss)
+	}
+}

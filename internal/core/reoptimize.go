@@ -1,0 +1,73 @@
+package core
+
+import (
+	"repro/internal/netmodel"
+)
+
+// ReoptimizeResult reports a churn-aware re-solve.
+type ReoptimizeResult struct {
+	*Result
+	// ArcChurn counts service arcs that differ from the prior design;
+	// ReflectorChurn counts reflectors whose build state flipped. Every
+	// changed arc is a viewer-visible stream re-pull, so operators
+	// minimize churn alongside cost.
+	ArcChurn, ReflectorChurn int
+}
+
+// Reoptimize runs the solver on an updated instance (new measured losses or
+// prices, §1.3's monitoring loop) while biasing toward the previously
+// deployed design: arcs and reflectors already in service get their costs
+// discounted by stickiness ∈ [0,1), so the LP prefers keeping streams where
+// they are unless the network has genuinely shifted. stickiness = 0
+// reproduces a cold solve; values around 0.3–0.5 are typical.
+//
+// The returned audit and cost are evaluated against the TRUE (undiscounted)
+// instance — the bias only steers the optimization.
+func Reoptimize(in *netmodel.Instance, prior *netmodel.Design, stickiness float64, opts Options) (*ReoptimizeResult, error) {
+	if stickiness < 0 || stickiness >= 1 {
+		stickiness = 0
+	}
+	work := in
+	if prior != nil && stickiness > 0 {
+		work = in.Clone()
+		keep := 1 - stickiness
+		for i := range prior.Serve {
+			if prior.Build[i] {
+				work.ReflectorCost[i] *= keep
+			}
+			for j, s := range prior.Serve[i] {
+				if s {
+					work.RefSinkCost[i][j] *= keep
+				}
+			}
+		}
+		for k := range prior.Ingest {
+			for i, y := range prior.Ingest[k] {
+				if y {
+					work.SrcRefCost[k][i] *= keep
+				}
+			}
+		}
+	}
+	res, err := Solve(work, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := &ReoptimizeResult{Result: res}
+	// Re-audit against the true instance (costs were biased).
+	out.Audit = netmodel.AuditDesign(in, res.Design)
+	out.LPCost = res.LPCost // LP bound of the biased problem; informational
+	if prior != nil {
+		for i := range prior.Serve {
+			if prior.Build[i] != res.Design.Build[i] {
+				out.ReflectorChurn++
+			}
+			for j := range prior.Serve[i] {
+				if prior.Serve[i][j] != res.Design.Serve[i][j] {
+					out.ArcChurn++
+				}
+			}
+		}
+	}
+	return out, nil
+}

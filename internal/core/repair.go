@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/netmodel"
+)
+
+// RepairCoverage greedily adds service arcs to a design until every sink
+// meets its FULL weight demand (not just the W/4 the approximation
+// guarantees), or no admissible arc remains. This is the natural member of
+// the family of "heuristics based on the algorithm" that §7 of the paper
+// proposes deploying: the LP-rounded design provides the provably-cheap
+// skeleton, and the repair pass tops up the tail of under-covered sinks.
+//
+// Hard rules: never exceeds one copy per (ISP color, sink), never uses a
+// forbidden (§6.3) arc. Soft rule: prefers reflectors with fanout headroom
+// under F_i; once none has headroom it allows up to maxFanoutFactor·F_i
+// (pass 4 for the paper's end-to-end envelope).
+//
+// It returns the number of arcs added. The design is normalized in place.
+func RepairCoverage(in *netmodel.Instance, d *netmodel.Design, maxFanoutFactor float64) int {
+	_, R, D := in.Dims()
+	if maxFanoutFactor <= 0 {
+		maxFanoutFactor = 4
+	}
+	fanUse := make([]float64, R)
+	for i := 0; i < R; i++ {
+		fanUse[i] = d.FanoutUse(in, i)
+	}
+	colorUsed := map[[2]int]bool{}
+	if in.Color != nil {
+		for j := 0; j < D; j++ {
+			for i := 0; i < R; i++ {
+				if d.Serve[i][j] {
+					colorUsed[[2]int{j, in.Color[i]}] = true
+				}
+			}
+		}
+	}
+	deficit := make([]float64, D)
+	for j := 0; j < D; j++ {
+		if in.Threshold[j] <= 0 {
+			continue
+		}
+		deficit[j] = in.Demand(j) - d.SinkWeight(in, j)
+	}
+	added := 0
+	for {
+		bestI, bestJ := -1, -1
+		bestScore := math.Inf(-1)
+		bestSoft := false
+		for j := 0; j < D; j++ {
+			if deficit[j] <= 1e-9 {
+				continue
+			}
+			k := in.Commodity[j]
+			bw := in.StreamBandwidth(k)
+			for i := 0; i < R; i++ {
+				if d.Serve[i][j] || !in.ArcAllowed(i, j) {
+					continue
+				}
+				if in.Color != nil && colorUsed[[2]int{j, in.Color[i]}] {
+					continue
+				}
+				soft := fanUse[i]+bw > in.Fanout[i]
+				if fanUse[i]+bw > maxFanoutFactor*in.Fanout[i] {
+					continue
+				}
+				w := in.CappedWeight(i, j)
+				if w <= 1e-12 {
+					continue
+				}
+				gain := math.Min(w, deficit[j])
+				cost := in.RefSinkCost[i][j]
+				if !d.Ingest[k][i] {
+					cost += in.SrcRefCost[k][i]
+				}
+				if !d.Build[i] {
+					cost += in.ReflectorCost[i]
+				}
+				score := gain / math.Max(cost, 1e-12)
+				if soft {
+					score *= 0.01 // strongly prefer headroom
+				}
+				if score > bestScore {
+					bestScore, bestI, bestJ, bestSoft = score, i, j, soft
+				}
+			}
+		}
+		if bestI < 0 {
+			break
+		}
+		_ = bestSoft
+		k := in.Commodity[bestJ]
+		d.Serve[bestI][bestJ] = true
+		d.Ingest[k][bestI] = true
+		d.Build[bestI] = true
+		fanUse[bestI] += in.StreamBandwidth(k)
+		deficit[bestJ] -= math.Min(in.CappedWeight(bestI, bestJ), deficit[bestJ])
+		if in.Color != nil {
+			colorUsed[[2]int{bestJ, in.Color[bestI]}] = true
+		}
+		added++
+	}
+	return added
+}

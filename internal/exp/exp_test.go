@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs the entire suite in quick mode and asserts
+// every table renders with at least one data row and no "NO" verdict in the
+// columns that certify a paper bound.
+func TestAllExperimentsQuick(t *testing.T) {
+	cfg := QuickConfig()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tb := e.Run(cfg)
+			if tb == nil {
+				t.Fatal("nil table")
+			}
+			out := tb.String()
+			if len(tb.Rows) == 0 {
+				t.Fatalf("no rows:\n%s", out)
+			}
+			t.Logf("\n%s", out)
+		})
+	}
+}
+
+func TestF3ExactValues(t *testing.T) {
+	tb := F3IntegralityGap()
+	out := tb.String()
+	if strings.Contains(out, "NO") {
+		t.Fatalf("figure-3 reproduction mismatch:\n%s", out)
+	}
+	if !strings.Contains(out, "3.5") {
+		t.Fatalf("fractional 3.5 missing:\n%s", out)
+	}
+}
+
+func TestT12BoundsHold(t *testing.T) {
+	tb := T12ChernoffTails(QuickConfig())
+	if strings.Contains(tb.String(), "NO") {
+		t.Fatalf("Chernoff bound violated empirically:\n%s", tb.String())
+	}
+}
+
+func TestT1GuaranteesHold(t *testing.T) {
+	tb := T1EndToEndApprox(QuickConfig())
+	if strings.Contains(tb.String(), "NO") {
+		t.Fatalf("end-to-end guarantee violated:\n%s", tb.String())
+	}
+}

@@ -1,0 +1,43 @@
+package gen
+
+// Figure3 describes the exact integrality-gap gadget of the paper's
+// Figure 3: a flow network with an "entangled set" capacity constraint over
+// the edge set {a→b, p→q}. The maximum integral s–t flow is 3, but the
+// fractional optimum is 3.5 (send 2 on s→a and 1.5 on s→p, split at a:
+// 0.5 on a→q and 1.5 on a→b), demonstrating why §6.5 cannot round the path
+// LP with plain network-flow integrality and needs Srinivasan–Teo style
+// dependent rounding.
+type Figure3 struct {
+	// Node indices.
+	S, A, P, Q, B, T int
+	NumNodes         int
+	// Edges with individual capacities.
+	Edges []Figure3Edge
+	// EntangledSet is the index set (into Edges) whose total flow is
+	// capped by EntangledCap (the figure: {ab, pq} ≤ 3).
+	EntangledSet []int
+	EntangledCap float64
+}
+
+// Figure3Edge is one capacitated arc of the gadget.
+type Figure3Edge struct {
+	From, To int
+	Cap      float64
+}
+
+// NewFigure3 returns the gadget with the exact capacities of the figure.
+func NewFigure3() *Figure3 {
+	f := &Figure3{S: 0, A: 1, P: 2, Q: 3, B: 4, T: 5, NumNodes: 6}
+	f.Edges = []Figure3Edge{
+		{f.S, f.A, 2}, // sa
+		{f.S, f.P, 2}, // sp
+		{f.A, f.B, 2}, // ab  (entangled)
+		{f.A, f.Q, 1}, // aq
+		{f.P, f.Q, 2}, // pq  (entangled)
+		{f.B, f.T, 2}, // bt
+		{f.Q, f.T, 2}, // qt
+	}
+	f.EntangledSet = []int{2, 4}
+	f.EntangledCap = 3
+	return f
+}

@@ -1,0 +1,301 @@
+// Package gen generates overlay-design problem instances: uniform random
+// tripartite networks, Akamai-like geo/ISP-clustered topologies (the class
+// of networks §1 of the paper describes), adversarial set-cover embeddings
+// (which realize the Ω(log n) cost lower bound of §2), the MacWorld'02
+// live-event scenario used as motivation in §1, and the exact Figure-3
+// integrality-gap gadget.
+//
+// Every generator is deterministic in its seed.
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/netmodel"
+	"repro/internal/stats"
+)
+
+// UniformConfig parameterizes Uniform.
+type UniformConfig struct {
+	Sources    int
+	Reflectors int
+	Sinks      int
+	// Loss ranges (uniform draws).
+	SrcRefLossLo, SrcRefLossHi   float64
+	RefSinkLossLo, RefSinkLossHi float64
+	// Cost ranges.
+	ReflectorCostLo, ReflectorCostHi float64
+	SrcRefCostLo, SrcRefCostHi       float64
+	RefSinkCostLo, RefSinkCostHi     float64
+	// Fanout per reflector (uniform integer draw in [FanoutLo,FanoutHi]).
+	FanoutLo, FanoutHi int
+	// Success threshold range for sinks.
+	ThresholdLo, ThresholdHi float64
+}
+
+// DefaultUniform returns a reasonable medium-difficulty configuration with
+// the given shape: losses 0.5%–5% per hop (the measured ranges §1.3 alludes
+// to), thresholds around "two nines", fanouts that force reflector reuse.
+func DefaultUniform(sources, reflectors, sinks int) UniformConfig {
+	return UniformConfig{
+		Sources: sources, Reflectors: reflectors, Sinks: sinks,
+		SrcRefLossLo: 0.005, SrcRefLossHi: 0.05,
+		RefSinkLossLo: 0.005, RefSinkLossHi: 0.05,
+		ReflectorCostLo: 5, ReflectorCostHi: 20,
+		SrcRefCostLo: 1, SrcRefCostHi: 4,
+		RefSinkCostLo: 0.5, RefSinkCostHi: 3,
+		FanoutLo: max(2, 2*sinks/reflectors), FanoutHi: max(3, 3*sinks/reflectors),
+		ThresholdLo: 0.95, ThresholdHi: 0.995,
+	}
+}
+
+// Uniform draws an instance with independent uniform parameters.
+func Uniform(cfg UniformConfig, seed uint64) *netmodel.Instance {
+	rng := stats.NewRNG(seed)
+	in := netmodel.NewZeroInstance(cfg.Sources, cfg.Reflectors, cfg.Sinks)
+	in.Name = fmt.Sprintf("uniform-s%dr%dd%d-%d", cfg.Sources, cfg.Reflectors, cfg.Sinks, seed)
+	for i := 0; i < cfg.Reflectors; i++ {
+		in.ReflectorCost[i] = rng.Range(cfg.ReflectorCostLo, cfg.ReflectorCostHi)
+		in.Fanout[i] = float64(cfg.FanoutLo + rng.Intn(cfg.FanoutHi-cfg.FanoutLo+1))
+	}
+	for k := 0; k < cfg.Sources; k++ {
+		for i := 0; i < cfg.Reflectors; i++ {
+			in.SrcRefLoss[k][i] = rng.Range(cfg.SrcRefLossLo, cfg.SrcRefLossHi)
+			in.SrcRefCost[k][i] = rng.Range(cfg.SrcRefCostLo, cfg.SrcRefCostHi)
+		}
+	}
+	for i := 0; i < cfg.Reflectors; i++ {
+		for j := 0; j < cfg.Sinks; j++ {
+			in.RefSinkLoss[i][j] = rng.Range(cfg.RefSinkLossLo, cfg.RefSinkLossHi)
+			in.RefSinkCost[i][j] = rng.Range(cfg.RefSinkCostLo, cfg.RefSinkCostHi)
+		}
+	}
+	for j := 0; j < cfg.Sinks; j++ {
+		in.Commodity[j] = rng.Intn(cfg.Sources)
+		in.Threshold[j] = rng.Range(cfg.ThresholdLo, cfg.ThresholdHi)
+	}
+	return in
+}
+
+// ClusteredConfig parameterizes Clustered, the Akamai-like topology: the
+// world is divided into regions; each region hosts colos belonging to ISPs;
+// reflectors live in colos; sinks (edgeserver clusters) live in regions;
+// intra-region links are cheap and clean, inter-region links expensive and
+// lossy. Reflector color = ISP (for the §6.4 experiments).
+type ClusteredConfig struct {
+	Sources            int
+	Regions            int
+	ISPs               int
+	ReflectorsPerColo  int // a colo = (region, ISP) pair
+	SinksPerRegion     int
+	Fanout             int
+	Threshold          float64
+	IntraLoss          float64 // mean loss within a region
+	InterLoss          float64 // mean loss across regions
+	IntraCost          float64
+	InterCost          float64
+	ReflectorBuildCost float64
+	// ViewershipSkew concentrates each stream's audience: a stream's
+	// "home" region hosts this fraction of its sinks' interest (the
+	// paper's "large event with predominantly European viewership").
+	ViewershipSkew float64
+}
+
+// DefaultClustered returns the standard clustered configuration used by the
+// experiment suite. The fanout gives the network ~3 service slots per sink
+// in aggregate, so 2–3-copy designs stay feasible at every seed.
+func DefaultClustered(sources, regions, isps, sinksPerRegion int) ClusteredConfig {
+	return ClusteredConfig{
+		Sources: sources, Regions: regions, ISPs: isps,
+		ReflectorsPerColo: 1, SinksPerRegion: sinksPerRegion,
+		Fanout: max(4, (3*sinksPerRegion+isps-1)/isps), Threshold: 0.99,
+		IntraLoss: 0.01, InterLoss: 0.06,
+		IntraCost: 1, InterCost: 5,
+		ReflectorBuildCost: 10, ViewershipSkew: 0.7,
+	}
+}
+
+// Clustered draws an Akamai-like instance. Reflector i has color = its ISP.
+func Clustered(cfg ClusteredConfig, seed uint64) *netmodel.Instance {
+	rng := stats.NewRNG(seed)
+	R := cfg.Regions * cfg.ISPs * cfg.ReflectorsPerColo
+	D := cfg.Regions * cfg.SinksPerRegion
+	in := netmodel.NewZeroInstance(cfg.Sources, R, D)
+	in.Name = fmt.Sprintf("clustered-s%dreg%disp%d-%d", cfg.Sources, cfg.Regions, cfg.ISPs, seed)
+	in.Color = make([]int, R)
+	in.NumColors = cfg.ISPs
+
+	refRegion := make([]int, R)
+	i := 0
+	for reg := 0; reg < cfg.Regions; reg++ {
+		for isp := 0; isp < cfg.ISPs; isp++ {
+			for c := 0; c < cfg.ReflectorsPerColo; c++ {
+				refRegion[i] = reg
+				in.Color[i] = isp
+				in.ReflectorCost[i] = cfg.ReflectorBuildCost * rng.Range(0.8, 1.2)
+				in.Fanout[i] = float64(cfg.Fanout)
+				i++
+			}
+		}
+	}
+	// Each source lives in a home region.
+	srcRegion := make([]int, cfg.Sources)
+	for k := range srcRegion {
+		srcRegion[k] = rng.Intn(cfg.Regions)
+	}
+	jitterLoss := func(mean float64) float64 {
+		v := mean * rng.Range(0.5, 1.5)
+		if v <= 0 {
+			v = 1e-4
+		}
+		if v >= 0.5 {
+			v = 0.5
+		}
+		return v
+	}
+	for k := 0; k < cfg.Sources; k++ {
+		for r := 0; r < R; r++ {
+			if refRegion[r] == srcRegion[k] {
+				in.SrcRefLoss[k][r] = jitterLoss(cfg.IntraLoss)
+				in.SrcRefCost[k][r] = cfg.IntraCost * rng.Range(0.8, 1.2)
+			} else {
+				in.SrcRefLoss[k][r] = jitterLoss(cfg.InterLoss)
+				in.SrcRefCost[k][r] = cfg.InterCost * rng.Range(0.8, 1.2)
+			}
+		}
+	}
+	sinkRegion := make([]int, D)
+	j := 0
+	for reg := 0; reg < cfg.Regions; reg++ {
+		for s := 0; s < cfg.SinksPerRegion; s++ {
+			sinkRegion[j] = reg
+			j++
+		}
+	}
+	for r := 0; r < R; r++ {
+		for j := 0; j < D; j++ {
+			if refRegion[r] == sinkRegion[j] {
+				in.RefSinkLoss[r][j] = jitterLoss(cfg.IntraLoss)
+				in.RefSinkCost[r][j] = cfg.IntraCost * rng.Range(0.8, 1.2)
+			} else {
+				in.RefSinkLoss[r][j] = jitterLoss(cfg.InterLoss)
+				in.RefSinkCost[r][j] = cfg.InterCost * rng.Range(0.8, 1.2)
+			}
+		}
+	}
+	// Assign each sink a stream: with probability ViewershipSkew a stream
+	// whose home region matches the sink's, otherwise uniform.
+	homeStreams := make([][]int, cfg.Regions)
+	for k, reg := range srcRegion {
+		homeStreams[reg] = append(homeStreams[reg], k)
+	}
+	for j := 0; j < D; j++ {
+		local := homeStreams[sinkRegion[j]]
+		if len(local) > 0 && rng.Bernoulli(cfg.ViewershipSkew) {
+			in.Commodity[j] = local[rng.Intn(len(local))]
+		} else {
+			in.Commodity[j] = rng.Intn(cfg.Sources)
+		}
+		in.Threshold[j] = cfg.Threshold
+	}
+	return in
+}
+
+// SetCoverConfig embeds a set-cover instance: reflectors are sets, sinks are
+// elements, and thresholds are chosen so that a single covering reflector
+// suffices. The reduction in §2 shows this is the hard core of the problem.
+type SetCoverConfig struct {
+	Elements int // sinks
+	Sets     int // reflectors
+	// Density is the probability a set covers an element.
+	Density float64
+}
+
+// SetCover draws the embedding. Arcs from a set to elements it does not
+// cover get loss ~1 (weight ~0), so they are useless; covering arcs are
+// nearly lossless. One source, unit set costs, generous fanouts.
+func SetCover(cfg SetCoverConfig, seed uint64) *netmodel.Instance {
+	rng := stats.NewRNG(seed)
+	in := netmodel.NewZeroInstance(1, cfg.Sets, cfg.Elements)
+	in.Name = fmt.Sprintf("setcover-e%ds%d-%d", cfg.Elements, cfg.Sets, seed)
+	for i := 0; i < cfg.Sets; i++ {
+		in.ReflectorCost[i] = 1
+		in.Fanout[i] = float64(cfg.Elements)
+		in.SrcRefLoss[0][i] = 1e-9
+		in.SrcRefCost[0][i] = 0
+	}
+	covered := make([]bool, cfg.Elements)
+	for i := 0; i < cfg.Sets; i++ {
+		for j := 0; j < cfg.Elements; j++ {
+			if rng.Bernoulli(cfg.Density) {
+				in.RefSinkLoss[i][j] = 1e-9 // covering arc
+				covered[j] = true
+			} else {
+				in.RefSinkLoss[i][j] = 1 - 1e-12 // useless arc
+			}
+			in.RefSinkCost[i][j] = 0
+		}
+	}
+	// Guarantee coverage so the instance is feasible.
+	for j, ok := range covered {
+		if !ok {
+			in.RefSinkLoss[rng.Intn(cfg.Sets)][j] = 1e-9
+		}
+	}
+	for j := 0; j < cfg.Elements; j++ {
+		in.Commodity[j] = 0
+		in.Threshold[j] = 0.99 // one clean path suffices
+	}
+	return in
+}
+
+// MacWorldConfig captures the §1 motivating event: Steve Jobs's keynote,
+// ~50,000 simultaneous viewers, 16.5 Gbps peak egress, media servers capped
+// at 50 Mbps each. We model the overlay (encoder→entrypoint→reflectors→
+// edgeservers); viewers hang off edgeservers and determine per-edgeserver
+// egress demand.
+type MacWorldConfig struct {
+	Regions        int
+	ISPs           int
+	EdgeServers    int     // total edgeserver clusters (sinks)
+	StreamKbps     float64 // encoded stream bitrate
+	ReflectorMbps  float64 // reflector egress capacity (paper: 50 Mbps)
+	Threshold      float64 // post-reconstruction quality target
+	ViewersPerSink int     // for capacity-planning reporting
+}
+
+// DefaultMacWorld returns the configuration matching the paper's numbers:
+// 300 kbps stream (2002-era web stream), 50 Mbps reflectors, 99.9% quality.
+func DefaultMacWorld() MacWorldConfig {
+	return MacWorldConfig{
+		Regions: 4, ISPs: 3, EdgeServers: 48,
+		StreamKbps: 300, ReflectorMbps: 50,
+		Threshold: 0.999, ViewersPerSink: 1050, // ≈ 50k viewers total
+	}
+}
+
+// MacWorld builds the live-event instance: one stream, reflectors in every
+// (region, ISP) colo, fanout = how many edgeserver feeds one reflector can
+// push = ReflectorMbps / StreamKbps.
+func MacWorld(cfg MacWorldConfig, seed uint64) *netmodel.Instance {
+	cl := ClusteredConfig{
+		Sources: 1, Regions: cfg.Regions, ISPs: cfg.ISPs,
+		ReflectorsPerColo: 1,
+		SinksPerRegion:    cfg.EdgeServers / cfg.Regions,
+		Fanout:            int(cfg.ReflectorMbps * 1000 / cfg.StreamKbps),
+		Threshold:         cfg.Threshold,
+		IntraLoss:         0.005, InterLoss: 0.04,
+		IntraCost: 1, InterCost: 6,
+		ReflectorBuildCost: 8, ViewershipSkew: 1,
+	}
+	in := Clustered(cl, seed)
+	in.Name = fmt.Sprintf("macworld-%d", seed)
+	return in
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,137 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/netmodel"
+)
+
+func TestUniformValid(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		in := Uniform(DefaultUniform(3, 8, 20), seed)
+		if err := in.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a := Uniform(DefaultUniform(2, 5, 10), 7)
+	b := Uniform(DefaultUniform(2, 5, 10), 7)
+	if a.SrcRefLoss[1][3] != b.SrcRefLoss[1][3] || a.RefSinkCost[4][9] != b.RefSinkCost[4][9] {
+		t.Fatal("same seed must give identical instances")
+	}
+	c := Uniform(DefaultUniform(2, 5, 10), 8)
+	if a.SrcRefLoss[1][3] == c.SrcRefLoss[1][3] && a.RefSinkCost[4][9] == c.RefSinkCost[4][9] {
+		t.Fatal("different seeds should give different instances")
+	}
+}
+
+func TestClusteredValid(t *testing.T) {
+	in := Clustered(DefaultClustered(3, 3, 2, 6), 11)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.NumColors != 2 {
+		t.Fatalf("NumColors = %d, want 2", in.NumColors)
+	}
+	if in.NumReflectors != 3*2 {
+		t.Fatalf("R = %d, want 6", in.NumReflectors)
+	}
+	if in.NumSinks != 3*6 {
+		t.Fatalf("D = %d, want 18", in.NumSinks)
+	}
+}
+
+func TestClusteredIntraCheaperThanInter(t *testing.T) {
+	// On average, same-region reflector-sink arcs must be cheaper and
+	// cleaner than cross-region arcs; verify via the generator's own
+	// structure: region of reflector i is i / ISPs when ReflectorsPerColo=1.
+	cfg := DefaultClustered(2, 4, 2, 5)
+	in := Clustered(cfg, 3)
+	intraCost, interCost := 0.0, 0.0
+	intraN, interN := 0, 0
+	for i := 0; i < in.NumReflectors; i++ {
+		regI := i / cfg.ISPs
+		for j := 0; j < in.NumSinks; j++ {
+			regJ := j / cfg.SinksPerRegion
+			if regI == regJ {
+				intraCost += in.RefSinkCost[i][j]
+				intraN++
+			} else {
+				interCost += in.RefSinkCost[i][j]
+				interN++
+			}
+		}
+	}
+	if intraCost/float64(intraN) >= interCost/float64(interN) {
+		t.Fatal("intra-region arcs should be cheaper on average")
+	}
+}
+
+func TestSetCoverFeasible(t *testing.T) {
+	in := SetCover(SetCoverConfig{Elements: 12, Sets: 6, Density: 0.3}, 5)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every element must have at least one covering arc (loss << 1).
+	for j := 0; j < in.NumSinks; j++ {
+		ok := false
+		for i := 0; i < in.NumReflectors; i++ {
+			if in.RefSinkLoss[i][j] < 0.5 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("element %d uncovered", j)
+		}
+	}
+}
+
+func TestMacWorld(t *testing.T) {
+	cfg := DefaultMacWorld()
+	in := MacWorld(cfg, 1)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.NumSources != 1 {
+		t.Fatalf("sources = %d, want 1 (single keynote stream)", in.NumSources)
+	}
+	wantFanout := float64(int(cfg.ReflectorMbps * 1000 / cfg.StreamKbps))
+	if in.Fanout[0] != wantFanout {
+		t.Fatalf("fanout = %v, want %v (50 Mbps / 300 kbps)", in.Fanout[0], wantFanout)
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	f := NewFigure3()
+	if len(f.Edges) != 7 {
+		t.Fatalf("edges = %d, want 7", len(f.Edges))
+	}
+	if f.EntangledCap != 3 || len(f.EntangledSet) != 2 {
+		t.Fatal("entangled set must be {ab,pq} with cap 3")
+	}
+	// The entangled edges must be ab and pq.
+	ab := f.Edges[f.EntangledSet[0]]
+	pq := f.Edges[f.EntangledSet[1]]
+	if ab.From != f.A || ab.To != f.B || pq.From != f.P || pq.To != f.Q {
+		t.Fatal("entangled edges are not ab,pq")
+	}
+}
+
+func TestWeightDemandRelation(t *testing.T) {
+	// Sanity on the model's transforms for generated instances: capped
+	// weight never exceeds demand, and better (lower-loss) paths have
+	// higher weight.
+	in := Uniform(DefaultUniform(2, 6, 10), 9)
+	for j := 0; j < in.NumSinks; j++ {
+		dem := in.Demand(j)
+		for i := 0; i < in.NumReflectors; i++ {
+			if in.CappedWeight(i, j) > dem+1e-12 {
+				t.Fatalf("capped weight exceeds demand at (%d,%d)", i, j)
+			}
+		}
+	}
+	var _ = netmodel.ProbEps
+}

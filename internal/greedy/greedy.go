@@ -1,0 +1,231 @@
+// Package greedy implements baseline heuristics for overlay design:
+//
+//   - Greedy: the natural capacitated multi-cover greedy (§1.5 notes the
+//     greedy matches the set-cover lower bound in the uncapacitated case;
+//     §7 proposes "heuristics based on the algorithm" — this is the
+//     comparison point T8 uses).
+//   - Random: a random feasible-first baseline.
+//   - Improve: a local cleanup pass that removes redundant assignments and
+//     unused reflectors from any design without breaking its guarantees.
+//
+// Unlike the LP-rounding algorithm, Greedy never violates fanout or color
+// constraints — it trades cost for hard feasibility, which is exactly the
+// trade-off the T8 experiment quantifies.
+package greedy
+
+import (
+	"math"
+
+	"repro/internal/netmodel"
+	"repro/internal/stats"
+)
+
+// Result is a heuristic design plus diagnostics.
+type Result struct {
+	Design *netmodel.Design
+	// Covered counts sinks whose weight demand is fully met; a greedy
+	// run can fall short when fanout runs out.
+	Covered, Demanding int
+}
+
+// Greedy builds a design by repeatedly choosing the assignment arc with the
+// best marginal (capped) weight gain per marginal dollar, respecting fanout
+// and color constraints as hard limits.
+func Greedy(in *netmodel.Instance) *Result {
+	S, R, D := in.Dims()
+	_ = S
+	d := netmodel.NewDesign(in)
+	deficit := make([]float64, D)
+	demanding := 0
+	for j := 0; j < D; j++ {
+		if in.Threshold[j] > 0 {
+			deficit[j] = in.Demand(j)
+			demanding++
+		}
+	}
+	fanoutLeft := append([]float64(nil), in.Fanout...)
+	colorUsed := make(map[[2]int]bool) // (sink, color) already serving
+
+	for {
+		bestGain := 0.0
+		bestI, bestJ := -1, -1
+		bestRatio := math.Inf(-1)
+		for j := 0; j < D; j++ {
+			if deficit[j] <= 1e-12 {
+				continue
+			}
+			k := in.Commodity[j]
+			bw := in.StreamBandwidth(k)
+			for i := 0; i < R; i++ {
+				if d.Serve[i][j] || fanoutLeft[i] < bw {
+					continue
+				}
+				if !in.ArcAllowed(i, j) {
+					continue
+				}
+				if in.Color != nil && colorUsed[[2]int{j, in.Color[i]}] {
+					continue
+				}
+				w := in.CappedWeight(i, j)
+				gain := math.Min(w, deficit[j])
+				if gain <= 1e-12 {
+					continue
+				}
+				cost := in.RefSinkCost[i][j]
+				if !d.Ingest[k][i] {
+					cost += in.SrcRefCost[k][i]
+				}
+				if !d.Build[i] {
+					cost += in.ReflectorCost[i]
+				}
+				ratio := gain / math.Max(cost, 1e-12)
+				if ratio > bestRatio {
+					bestRatio, bestGain, bestI, bestJ = ratio, gain, i, j
+				}
+			}
+		}
+		if bestI < 0 {
+			break
+		}
+		k := in.Commodity[bestJ]
+		d.Serve[bestI][bestJ] = true
+		d.Ingest[k][bestI] = true
+		d.Build[bestI] = true
+		fanoutLeft[bestI] -= in.StreamBandwidth(k)
+		deficit[bestJ] -= bestGain
+		if in.Color != nil {
+			colorUsed[[2]int{bestJ, in.Color[bestI]}] = true
+		}
+	}
+	covered := 0
+	for j := 0; j < D; j++ {
+		if in.Threshold[j] > 0 && deficit[j] <= 1e-9 {
+			covered++
+		}
+	}
+	return &Result{Design: d, Covered: covered, Demanding: demanding}
+}
+
+// Random serves each sink from uniformly random admissible reflectors until
+// its demand is met (or no reflector remains), respecting fanout and colors.
+// It is the "how bad can it get" baseline for T8.
+func Random(in *netmodel.Instance, seed uint64) *Result {
+	_, R, D := in.Dims()
+	rng := stats.NewRNG(seed)
+	d := netmodel.NewDesign(in)
+	fanoutLeft := append([]float64(nil), in.Fanout...)
+	demanding, covered := 0, 0
+	for _, j := range rng.Perm(D) {
+		if in.Threshold[j] <= 0 {
+			continue
+		}
+		demanding++
+		k := in.Commodity[j]
+		bw := in.StreamBandwidth(k)
+		deficit := in.Demand(j)
+		colorUsed := make(map[int]bool)
+		for _, i := range rng.Perm(R) {
+			if deficit <= 1e-12 {
+				break
+			}
+			if fanoutLeft[i] < bw || !in.ArcAllowed(i, j) {
+				continue
+			}
+			if in.Color != nil && colorUsed[in.Color[i]] {
+				continue
+			}
+			w := in.CappedWeight(i, j)
+			if w <= 1e-12 {
+				continue
+			}
+			d.Serve[i][j] = true
+			d.Ingest[k][i] = true
+			d.Build[i] = true
+			fanoutLeft[i] -= bw
+			deficit -= w
+			if in.Color != nil {
+				colorUsed[in.Color[i]] = true
+			}
+		}
+		if deficit <= 1e-9 {
+			covered++
+		}
+	}
+	return &Result{Design: d, Covered: covered, Demanding: demanding}
+}
+
+// Improve removes redundant service arcs (most expensive first) while every
+// sink's weight stays at or above keepFactor × its demand, then tears down
+// ingests and reflectors that no longer serve anyone. It never lowers a
+// sink below keepFactor. Returns the number of arcs removed.
+func Improve(in *netmodel.Instance, d *netmodel.Design, keepFactor float64) int {
+	_, R, D := in.Dims()
+	type arc struct {
+		i, j int
+		cost float64
+	}
+	var arcs []arc
+	for i := 0; i < R; i++ {
+		for j := 0; j < D; j++ {
+			if d.Serve[i][j] {
+				arcs = append(arcs, arc{i, j, in.RefSinkCost[i][j]})
+			}
+		}
+	}
+	// Most expensive first.
+	for a := 0; a < len(arcs); a++ {
+		for b := a + 1; b < len(arcs); b++ {
+			if arcs[b].cost > arcs[a].cost {
+				arcs[a], arcs[b] = arcs[b], arcs[a]
+			}
+		}
+	}
+	removed := 0
+	for _, a := range arcs {
+		if in.Threshold[a.j] <= 0 {
+			d.Serve[a.i][a.j] = false
+			removed++
+			continue
+		}
+		cur := d.SinkWeight(in, a.j)
+		need := keepFactor * in.Demand(a.j)
+		if cur-in.CappedWeight(a.i, a.j) >= need-1e-12 {
+			d.Serve[a.i][a.j] = false
+			removed++
+		}
+	}
+	// Tear down unused ingests/reflectors.
+	for k := range d.Ingest {
+		for i := 0; i < R; i++ {
+			if !d.Ingest[k][i] {
+				continue
+			}
+			used := false
+			for j := 0; j < D; j++ {
+				if d.Serve[i][j] && in.Commodity[j] == k {
+					used = true
+					break
+				}
+			}
+			if !used {
+				d.Ingest[k][i] = false
+			}
+		}
+	}
+	for i := 0; i < R; i++ {
+		if !d.Build[i] {
+			continue
+		}
+		used := false
+		for k := range d.Ingest {
+			if d.Ingest[k][i] {
+				used = true
+				break
+			}
+		}
+		if !used {
+			d.Build[i] = false
+		}
+	}
+	return removed
+}

@@ -1,0 +1,132 @@
+package greedy
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/netmodel"
+)
+
+func TestGreedyFeasibleAndHard(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		in := gen.Uniform(gen.DefaultUniform(2, 8, 16), seed)
+		res := Greedy(in)
+		a := netmodel.AuditDesign(in, res.Design)
+		if !a.StructureOK {
+			t.Fatalf("seed %d: structure violated", seed)
+		}
+		// Greedy never violates fanout — that's its selling point.
+		if a.FanoutFactor > 1+1e-9 {
+			t.Fatalf("seed %d: greedy violated fanout: %v", seed, a.FanoutFactor)
+		}
+		if res.Covered < res.Demanding {
+			t.Logf("seed %d: greedy covered %d/%d (fanout exhausted)", seed, res.Covered, res.Demanding)
+		} else if a.WeightFactor < 1-1e-9 {
+			t.Fatalf("seed %d: claims full coverage but weight factor %v", seed, a.WeightFactor)
+		}
+	}
+}
+
+func TestGreedyRespectsColors(t *testing.T) {
+	in := gen.Clustered(gen.DefaultClustered(2, 2, 2, 5), 3)
+	res := Greedy(in)
+	a := netmodel.AuditDesign(in, res.Design)
+	if a.ColorExcess != 0 {
+		t.Fatalf("greedy must respect colors, excess %d", a.ColorExcess)
+	}
+}
+
+func TestGreedyRespectsEdgeCaps(t *testing.T) {
+	in := gen.Uniform(gen.DefaultUniform(1, 4, 6), 2)
+	in.EdgeCap = make([][]float64, in.NumReflectors)
+	for i := range in.EdgeCap {
+		in.EdgeCap[i] = make([]float64, in.NumSinks)
+		for j := range in.EdgeCap[i] {
+			in.EdgeCap[i][j] = 1
+		}
+	}
+	in.EdgeCap[0][0] = 0
+	res := Greedy(in)
+	if res.Design.Serve[0][0] {
+		t.Fatal("greedy used a zero-capacity arc")
+	}
+}
+
+func TestRandomBaselineFeasibleStructure(t *testing.T) {
+	in := gen.Uniform(gen.DefaultUniform(2, 8, 16), 4)
+	res := Random(in, 9)
+	a := netmodel.AuditDesign(in, res.Design)
+	if !a.StructureOK {
+		t.Fatal("structure violated")
+	}
+	if a.FanoutFactor > 1+1e-9 {
+		t.Fatalf("random baseline violated fanout: %v", a.FanoutFactor)
+	}
+}
+
+func TestGreedyCheaperThanRandom(t *testing.T) {
+	// Averaged over seeds, greedy should beat random on cost whenever
+	// both fully cover.
+	var gTotal, rTotal float64
+	n := 0
+	for seed := uint64(1); seed <= 8; seed++ {
+		in := gen.Uniform(gen.DefaultUniform(2, 10, 12), seed)
+		g := Greedy(in)
+		r := Random(in, seed*17)
+		if g.Covered < g.Demanding || r.Covered < r.Demanding {
+			continue
+		}
+		gTotal += g.Design.Cost(in)
+		rTotal += r.Design.Cost(in)
+		n++
+	}
+	if n == 0 {
+		t.Skip("no commonly-covered seeds")
+	}
+	if gTotal >= rTotal {
+		t.Fatalf("greedy total %v not cheaper than random %v over %d seeds", gTotal, rTotal, n)
+	}
+}
+
+func TestImproveRemovesRedundancy(t *testing.T) {
+	in := gen.Uniform(gen.DefaultUniform(1, 6, 8), 6)
+	// Grossly over-provisioned design: everyone serves everyone.
+	d := netmodel.NewDesign(in)
+	for i := 0; i < in.NumReflectors; i++ {
+		for j := 0; j < in.NumSinks; j++ {
+			d.Serve[i][j] = true
+		}
+	}
+	d.Normalize(in)
+	costBefore := d.Cost(in)
+	removed := Improve(in, d, 1.0)
+	if removed == 0 {
+		t.Fatal("expected removals from an over-provisioned design")
+	}
+	a := netmodel.AuditDesign(in, d)
+	if a.WeightFactor < 1-1e-9 {
+		t.Fatalf("Improve broke coverage: factor %v", a.WeightFactor)
+	}
+	if d.Cost(in) >= costBefore {
+		t.Fatal("Improve must reduce cost")
+	}
+	if !a.StructureOK {
+		t.Fatal("Improve broke structure")
+	}
+}
+
+func TestImproveKeepFactor(t *testing.T) {
+	in := gen.Uniform(gen.DefaultUniform(1, 6, 8), 6)
+	d := netmodel.NewDesign(in)
+	for i := 0; i < in.NumReflectors; i++ {
+		for j := 0; j < in.NumSinks; j++ {
+			d.Serve[i][j] = true
+		}
+	}
+	d.Normalize(in)
+	Improve(in, d, 0.25)
+	a := netmodel.AuditDesign(in, d)
+	if a.WeightFactor < 0.25-1e-9 {
+		t.Fatalf("keepFactor 0.25 violated: %v", a.WeightFactor)
+	}
+}

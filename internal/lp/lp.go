@@ -1,0 +1,699 @@
+// Package lp implements a dense, two-phase, bounded-variable primal simplex
+// solver for linear programs
+//
+//	minimize    c·x
+//	subject to  row_i · x  {≤,=,≥}  b_i
+//	            lo_j ≤ x_j ≤ hi_j
+//
+// It is exact (up to floating-point tolerances), handles variable upper
+// bounds natively (no explicit bound rows, which keeps the paper's LP at
+// O(|R|·|D|) rows instead of doubling), uses Dantzig pricing with a Bland
+// anti-cycling fallback, and parallelizes tableau elimination across
+// goroutines for large instances.
+//
+// The solver is deliberately dense: the overlay-design LPs this repository
+// solves exactly are small enough (thousands of rows) that a dense tableau
+// with parallel pivots is simpler and more robust than sparse LU machinery.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/par"
+)
+
+// Rel is a constraint relation.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota // row·x ≤ rhs
+	GE            // row·x ≥ rhs
+	EQ            // row·x = rhs
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	}
+	return "?"
+}
+
+// Coef is one nonzero coefficient of a constraint row.
+type Coef struct {
+	Var int
+	Val float64
+}
+
+type row struct {
+	coefs []Coef
+	rel   Rel
+	rhs   float64
+}
+
+// Problem accumulates an LP. The zero Problem is not usable; create one
+// with NewProblem.
+type Problem struct {
+	n    int // number of structural variables
+	obj  []float64
+	lo   []float64
+	hi   []float64
+	rows []row
+}
+
+// NewProblem returns a problem with numVars structural variables, objective
+// zero, and default bounds [0, +Inf).
+func NewProblem(numVars int) *Problem {
+	p := &Problem{
+		n:   numVars,
+		obj: make([]float64, numVars),
+		lo:  make([]float64, numVars),
+		hi:  make([]float64, numVars),
+	}
+	for j := range p.hi {
+		p.hi[j] = math.Inf(1)
+	}
+	return p
+}
+
+// NumVars returns the number of structural variables.
+func (p *Problem) NumVars() int { return p.n }
+
+// NumRows returns the number of constraints added so far.
+func (p *Problem) NumRows() int { return len(p.rows) }
+
+// SetObjectiveCoef sets the objective coefficient of variable j.
+func (p *Problem) SetObjectiveCoef(j int, v float64) {
+	p.obj[j] = v
+}
+
+// AddObjectiveCoef adds v to the objective coefficient of variable j.
+func (p *Problem) AddObjectiveCoef(j int, v float64) {
+	p.obj[j] += v
+}
+
+// SetBounds sets lo ≤ x_j ≤ hi. Lower bounds must be finite (the overlay
+// LPs never need -Inf lower bounds; supporting them would complicate the
+// variable shift for no benefit).
+func (p *Problem) SetBounds(j int, lo, hi float64) {
+	p.lo[j] = lo
+	p.hi[j] = hi
+}
+
+// Bounds returns the current bounds of variable j. Branch-and-bound uses it
+// to save and restore bounds around branching decisions.
+func (p *Problem) Bounds(j int) (lo, hi float64) {
+	return p.lo[j], p.hi[j]
+}
+
+// AddConstraint appends the constraint (Σ coefs) rel rhs and returns its row
+// index. Coefficients referring to the same variable are summed.
+func (p *Problem) AddConstraint(rel Rel, rhs float64, coefs ...Coef) int {
+	cp := make([]Coef, len(coefs))
+	copy(cp, coefs)
+	p.rows = append(p.rows, row{coefs: cp, rel: rel, rhs: rhs})
+	return len(p.rows) - 1
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	}
+	return "unknown"
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status     Status
+	X          []float64 // structural variable values
+	Objective  float64
+	Iterations int
+}
+
+// Options tunes the solver. The zero value selects sensible defaults.
+type Options struct {
+	// MaxIters bounds total pivots across both phases (default
+	// 200*(rows+vars)+2000).
+	MaxIters int
+	// Parallel enables goroutine-parallel tableau elimination for large
+	// tableaus (default on; set to false in tests that measure serial
+	// behaviour).
+	SerialOnly bool
+}
+
+// numerical tolerances
+const (
+	tolPivot = 1e-9 // minimum |pivot| accepted
+	tolCost  = 1e-9 // reduced-cost optimality tolerance
+	tolFeas  = 1e-7 // feasibility tolerance on variable bounds
+	tolArt   = 1e-7 // phase-1 objective threshold for feasibility
+)
+
+// variable status in the simplex
+type vstat int8
+
+const (
+	atLower vstat = iota
+	atUpper
+	basic
+)
+
+// Solve runs the two-phase bounded-variable simplex and returns the optimal
+// solution, or a Solution with a non-Optimal status.
+func (p *Problem) Solve() (*Solution, error) {
+	return p.SolveOpts(Options{})
+}
+
+// SolveOpts is Solve with explicit options.
+func (p *Problem) SolveOpts(opts Options) (*Solution, error) {
+	for j := 0; j < p.n; j++ {
+		if math.IsInf(p.lo[j], -1) || math.IsNaN(p.lo[j]) {
+			return nil, fmt.Errorf("lp: variable %d has non-finite lower bound %g", j, p.lo[j])
+		}
+		if p.hi[j] < p.lo[j] {
+			return nil, fmt.Errorf("lp: variable %d has empty bound range [%g,%g]", j, p.lo[j], p.hi[j])
+		}
+	}
+	s := newSimplex(p, opts)
+	st := s.run()
+	sol := &Solution{Status: st, Iterations: s.iters}
+	if st == Optimal || st == IterLimit {
+		sol.X = s.extract()
+		obj := 0.0
+		for j := 0; j < p.n; j++ {
+			obj += p.obj[j] * sol.X[j]
+		}
+		sol.Objective = obj
+	}
+	return sol, nil
+}
+
+// simplex is the working state: a dense tableau over columns
+// [structural | slack | artificial], all shifted so lower bounds are 0.
+type simplex struct {
+	p    *Problem
+	opts Options
+
+	m, n     int // rows, total columns
+	nStruct  int
+	nSlack   int
+	tab      [][]float64 // m × n tableau, kept equal to B^{-1}A
+	beta     []float64   // current basic values (shifted space)
+	basis    []int       // basis[r] = column basic in row r
+	stat     []vstat
+	lo, hi   []float64 // shifted bounds: lo=0 for all, hi possibly +Inf
+	shift    []float64 // original lower bounds of structural vars
+	zrow     []float64 // reduced costs for current phase
+	cost     []float64 // phase-2 costs per column
+	artFirst int       // first artificial column
+	iters    int
+	maxIters int
+	bland    bool
+	parallel bool
+}
+
+func newSimplex(p *Problem, opts Options) *simplex {
+	m := len(p.rows)
+	s := &simplex{p: p, opts: opts, m: m, nStruct: p.n}
+	s.nSlack = 0
+	for _, r := range p.rows {
+		if r.rel != EQ {
+			s.nSlack++
+		}
+	}
+	// Worst case one artificial per row.
+	maxCols := p.n + s.nSlack + m
+	s.tab = make([][]float64, m)
+	backing := make([]float64, m*maxCols)
+	for r := range s.tab {
+		s.tab[r], backing = backing[:maxCols:maxCols], backing[maxCols:]
+	}
+	s.beta = make([]float64, m)
+	s.basis = make([]int, m)
+	s.lo = make([]float64, maxCols)
+	s.hi = make([]float64, maxCols)
+	s.stat = make([]vstat, maxCols)
+	s.cost = make([]float64, maxCols)
+	s.zrow = make([]float64, maxCols)
+	s.shift = make([]float64, p.n)
+
+	// Structural columns, shifted to lower bound 0.
+	for j := 0; j < p.n; j++ {
+		s.shift[j] = p.lo[j]
+		s.lo[j] = 0
+		if math.IsInf(p.hi[j], 1) {
+			s.hi[j] = math.Inf(1)
+		} else {
+			s.hi[j] = p.hi[j] - p.lo[j]
+		}
+		s.cost[j] = p.obj[j]
+		s.stat[j] = atLower
+	}
+
+	// Fill rows: structural coefficients and shifted rhs.
+	rhs := make([]float64, m)
+	for r, rw := range p.rows {
+		b := rw.rhs
+		for _, c := range rw.coefs {
+			s.tab[r][c.Var] += c.Val
+			b -= c.Val * s.shift[c.Var]
+		}
+		rhs[r] = b
+	}
+
+	// Slack columns and initial basis; artificials where needed.
+	col := p.n
+	s.artFirst = p.n + s.nSlack
+	artCol := s.artFirst
+	for r, rw := range p.rows {
+		switch rw.rel {
+		case LE:
+			s.tab[r][col] = 1
+			s.hi[col] = math.Inf(1)
+			if rhs[r] >= 0 {
+				s.setBasic(r, col, rhs[r])
+			} else {
+				s.stat[col] = atLower
+				s.tab[r][artCol] = -1
+				s.hi[artCol] = math.Inf(1)
+				s.setBasic(r, artCol, -rhs[r])
+				artCol++
+			}
+			col++
+		case GE:
+			s.tab[r][col] = -1
+			s.hi[col] = math.Inf(1)
+			if rhs[r] <= 0 {
+				s.setBasic(r, col, -rhs[r])
+			} else {
+				s.stat[col] = atLower
+				s.tab[r][artCol] = 1
+				s.hi[artCol] = math.Inf(1)
+				s.setBasic(r, artCol, rhs[r])
+				artCol++
+			}
+			col++
+		case EQ:
+			if rhs[r] >= 0 {
+				s.tab[r][artCol] = 1
+				s.setBasic(r, artCol, rhs[r])
+			} else {
+				s.tab[r][artCol] = -1
+				s.setBasic(r, artCol, -rhs[r])
+			}
+			s.hi[artCol] = math.Inf(1)
+			artCol++
+		}
+	}
+	s.n = artCol
+	// Truncate tableau rows to the actual column count.
+	for r := range s.tab {
+		s.tab[r] = s.tab[r][:s.n]
+	}
+	// The initial basis must appear as an identity in the tableau. GE
+	// slacks and negative-rhs artificials enter with coefficient -1, so
+	// negate those rows (the basic variable's *value* beta is unaffected:
+	// it is a value, not a transformed rhs).
+	for r := 0; r < s.m; r++ {
+		if s.tab[r][s.basis[r]] == -1 {
+			trow := s.tab[r]
+			for j := range trow {
+				trow[j] = -trow[j]
+			}
+		}
+	}
+	s.lo = s.lo[:s.n]
+	s.hi = s.hi[:s.n]
+	s.stat = s.stat[:s.n]
+	s.cost = s.cost[:s.n]
+	s.zrow = s.zrow[:s.n]
+
+	s.maxIters = opts.MaxIters
+	if s.maxIters <= 0 {
+		s.maxIters = 200*(m+s.n) + 2000
+	}
+	s.parallel = !opts.SerialOnly && m*s.n >= 1<<18
+	return s
+}
+
+func (s *simplex) setBasic(r, col int, val float64) {
+	s.basis[r] = col
+	s.stat[col] = basic
+	s.beta[r] = val
+}
+
+// run executes phase 1 (if artificials exist) and phase 2.
+func (s *simplex) run() Status {
+	hasArt := s.n > s.artFirst
+	if hasArt {
+		// Phase-1 objective: minimize sum of artificials.
+		phase1 := make([]float64, s.n)
+		for j := s.artFirst; j < s.n; j++ {
+			phase1[j] = 1
+		}
+		s.installObjective(phase1)
+		st := s.iterate()
+		if st != Optimal {
+			if st == Unbounded {
+				// Phase-1 objective is bounded below by 0; an
+				// unbounded report means numerical trouble.
+				return Infeasible
+			}
+			return st
+		}
+		if s.phaseObjective(phase1) > tolArt {
+			return Infeasible
+		}
+		// Freeze artificials at zero.
+		for j := s.artFirst; j < s.n; j++ {
+			s.hi[j] = 0
+			if s.stat[j] == atUpper {
+				s.stat[j] = atLower
+			}
+		}
+	}
+	s.installObjective(s.cost)
+	return s.iterate()
+}
+
+// phaseObjective computes c·x for the given per-column costs at the current
+// point (in shifted space).
+func (s *simplex) phaseObjective(c []float64) float64 {
+	v := 0.0
+	for j := 0; j < s.n; j++ {
+		switch s.stat[j] {
+		case atLower:
+			v += c[j] * s.lo[j]
+		case atUpper:
+			v += c[j] * s.hi[j]
+		}
+	}
+	for r := 0; r < s.m; r++ {
+		v += c[s.basis[r]] * s.beta[r]
+	}
+	return v
+}
+
+// installObjective recomputes the reduced-cost row for costs c:
+// zrow_j = c_j − c_B · tab_j.
+func (s *simplex) installObjective(c []float64) {
+	copy(s.zrow, c)
+	for r := 0; r < s.m; r++ {
+		cb := c[s.basis[r]]
+		if cb == 0 {
+			continue
+		}
+		trow := s.tab[r]
+		for j := 0; j < s.n; j++ {
+			s.zrow[j] -= cb * trow[j]
+		}
+	}
+	// Basic columns have zero reduced cost by construction; clamp
+	// accumulated error.
+	for r := 0; r < s.m; r++ {
+		s.zrow[s.basis[r]] = 0
+	}
+}
+
+// iterate runs simplex pivots until optimal/unbounded/limit.
+func (s *simplex) iterate() Status {
+	blandAfter := 20*(s.m+s.n) + 1000
+	start := s.iters
+	for {
+		if s.iters-start > blandAfter {
+			s.bland = true
+		}
+		if s.iters >= s.maxIters {
+			return IterLimit
+		}
+		j, dir := s.chooseEntering()
+		if j < 0 {
+			return Optimal
+		}
+		st := s.ratioTestAndPivot(j, dir)
+		if st != 0 {
+			return st
+		}
+		s.iters++
+	}
+}
+
+// chooseEntering returns the entering column and direction (+1 when the
+// variable increases from its lower bound, -1 when it decreases from its
+// upper bound), or (-1, 0) at optimality.
+func (s *simplex) chooseEntering() (int, float64) {
+	bestJ, bestDir, bestScore := -1, 0.0, tolCost
+	for j := 0; j < s.n; j++ {
+		switch s.stat[j] {
+		case basic:
+			continue
+		case atLower:
+			if d := -s.zrow[j]; d > bestScore {
+				if s.bland {
+					return j, 1
+				}
+				bestJ, bestDir, bestScore = j, 1, d
+			}
+		case atUpper:
+			if d := s.zrow[j]; d > bestScore {
+				if s.bland {
+					return j, -1
+				}
+				bestJ, bestDir, bestScore = j, -1, d
+			}
+		}
+	}
+	return bestJ, bestDir
+}
+
+// ratioTestAndPivot moves entering column j in direction dir, performing a
+// bound flip or a basis change. Returns a terminal status or 0 to continue.
+func (s *simplex) ratioTestAndPivot(j int, dir float64) Status {
+	// Maximum step before j hits its own opposite bound.
+	tMax := s.hi[j] - s.lo[j] // may be +Inf
+	leaveRow := -1
+	leaveToUpper := false
+	bestPivot := 0.0
+	t := tMax
+	for r := 0; r < s.m; r++ {
+		a := s.tab[r][j] * dir
+		if a > tolPivot {
+			// Basic variable decreases toward its lower bound.
+			lim := (s.beta[r] - s.lo[s.basis[r]]) / a
+			if lim < t-1e-12 || (lim < t+1e-12 && math.Abs(s.tab[r][j]) > math.Abs(bestPivot)) {
+				if lim < 0 {
+					lim = 0
+				}
+				t = lim
+				leaveRow = r
+				leaveToUpper = false
+				bestPivot = s.tab[r][j]
+			}
+		} else if a < -tolPivot {
+			// Basic variable increases toward its upper bound.
+			ub := s.hi[s.basis[r]]
+			if math.IsInf(ub, 1) {
+				continue
+			}
+			lim := (ub - s.beta[r]) / (-a)
+			if lim < t-1e-12 || (lim < t+1e-12 && math.Abs(s.tab[r][j]) > math.Abs(bestPivot)) {
+				if lim < 0 {
+					lim = 0
+				}
+				t = lim
+				leaveRow = r
+				leaveToUpper = true
+				bestPivot = s.tab[r][j]
+			}
+		}
+	}
+	if math.IsInf(t, 1) {
+		return Unbounded
+	}
+	// Apply the step to basic values.
+	if t != 0 {
+		step := t * dir
+		for r := 0; r < s.m; r++ {
+			s.beta[r] -= s.tab[r][j] * step
+		}
+	}
+	if leaveRow < 0 {
+		// Bound flip: j traverses to its opposite bound.
+		if dir > 0 {
+			s.stat[j] = atUpper
+		} else {
+			s.stat[j] = atLower
+		}
+		return 0
+	}
+	// Basis change: j enters at value (bound + t·dir), basis[leaveRow]
+	// leaves to one of its bounds.
+	leaving := s.basis[leaveRow]
+	if leaveToUpper {
+		s.stat[leaving] = atUpper
+	} else {
+		s.stat[leaving] = atLower
+	}
+	var enterVal float64
+	if dir > 0 {
+		enterVal = s.lo[j] + t
+	} else {
+		enterVal = s.hi[j] - t
+	}
+	s.basis[leaveRow] = j
+	s.stat[j] = basic
+	s.beta[leaveRow] = enterVal
+	s.eliminate(leaveRow, j)
+	return 0
+}
+
+// eliminate performs the Gauss–Jordan pivot on (prow, pcol), updating the
+// tableau and the reduced-cost row. Basic values are NOT touched: a basis
+// swap does not move the current point (the step was already applied by the
+// ratio test). Row elimination is parallelized for large tableaus.
+func (s *simplex) eliminate(prow, pcol int) {
+	piv := s.tab[prow][pcol]
+	prowData := s.tab[prow]
+	if piv != 1 {
+		inv := 1 / piv
+		for j := range prowData {
+			prowData[j] *= inv
+		}
+		prowData[pcol] = 1 // exact
+	}
+	elimRange := func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			if r == prow {
+				continue
+			}
+			f := s.tab[r][pcol]
+			if f == 0 {
+				continue
+			}
+			trow := s.tab[r]
+			for j := range trow {
+				trow[j] -= f * prowData[j]
+			}
+			trow[pcol] = 0 // exact
+		}
+	}
+	if s.parallel {
+		par.Chunks(s.m, 0, elimRange)
+	} else {
+		elimRange(0, s.m)
+	}
+	if f := s.zrow[pcol]; f != 0 {
+		for j := range s.zrow {
+			s.zrow[j] -= f * prowData[j]
+		}
+		s.zrow[pcol] = 0
+	}
+}
+
+// extract returns structural variable values in original (unshifted) space.
+func (s *simplex) extract() []float64 {
+	x := make([]float64, s.nStruct)
+	for j := 0; j < s.nStruct; j++ {
+		switch s.stat[j] {
+		case atLower:
+			x[j] = s.shift[j]
+		case atUpper:
+			x[j] = s.shift[j] + s.hi[j]
+		}
+	}
+	for r := 0; r < s.m; r++ {
+		if b := s.basis[r]; b < s.nStruct {
+			v := s.beta[r]
+			// Clamp tiny negative noise into bounds.
+			if v < 0 && v > -tolFeas {
+				v = 0
+			}
+			x[b] = s.shift[b] + v
+		}
+	}
+	return x
+}
+
+// CheckFeasible verifies that x satisfies all constraints and bounds of p
+// within tol, returning a descriptive error for the first violation. It is
+// used by tests and by the solver audits.
+func (p *Problem) CheckFeasible(x []float64, tol float64) error {
+	if len(x) != p.n {
+		return fmt.Errorf("lp: solution has %d vars, want %d", len(x), p.n)
+	}
+	for j := 0; j < p.n; j++ {
+		if x[j] < p.lo[j]-tol || x[j] > p.hi[j]+tol {
+			return fmt.Errorf("lp: x[%d]=%g outside [%g,%g]", j, x[j], p.lo[j], p.hi[j])
+		}
+	}
+	for r, rw := range p.rows {
+		v := 0.0
+		for _, c := range rw.coefs {
+			v += c.Val * x[c.Var]
+		}
+		// Scale tolerance with row magnitude for robustness.
+		scale := 1.0
+		for _, c := range rw.coefs {
+			if a := math.Abs(c.Val); a > scale {
+				scale = a
+			}
+		}
+		rtol := tol * scale * float64(1+len(rw.coefs))
+		switch rw.rel {
+		case LE:
+			if v > rw.rhs+rtol {
+				return fmt.Errorf("lp: row %d: %g > rhs %g", r, v, rw.rhs)
+			}
+		case GE:
+			if v < rw.rhs-rtol {
+				return fmt.Errorf("lp: row %d: %g < rhs %g", r, v, rw.rhs)
+			}
+		case EQ:
+			if math.Abs(v-rw.rhs) > rtol {
+				return fmt.Errorf("lp: row %d: %g != rhs %g", r, v, rw.rhs)
+			}
+		}
+	}
+	return nil
+}
+
+// ErrNotOptimal is returned by helpers that require an optimal solution.
+var ErrNotOptimal = errors.New("lp: not optimal")
+
+// MustSolve solves p and returns the solution if optimal; otherwise it
+// returns an error wrapping the status.
+func (p *Problem) MustSolve() (*Solution, error) {
+	sol, err := p.Solve()
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != Optimal {
+		return sol, fmt.Errorf("%w: status %v", ErrNotOptimal, sol.Status)
+	}
+	return sol, nil
+}

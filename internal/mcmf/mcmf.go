@@ -1,0 +1,221 @@
+// Package mcmf implements min-cost max-flow on directed graphs with integer
+// capacities and float64 costs, via successive shortest augmenting paths
+// (SPFA/Bellman–Ford path search, which tolerates the floating-point costs
+// produced by the overlay LP without potential-maintenance headaches).
+//
+// The §5 GAP conversion network uses capacities in half-units; callers scale
+// capacities by 2 so all flows are integral.
+package mcmf
+
+import (
+	"fmt"
+	"math"
+)
+
+// edge is one directed arc plus its residual twin (stored adjacently:
+// edge 2e and 2e+1).
+type edge struct {
+	to   int
+	cap  int64 // residual capacity
+	cost float64
+}
+
+// Graph is a flow network under construction. Nodes are 0..n-1.
+type Graph struct {
+	n     int
+	edges []edge
+	adj   [][]int32 // adjacency lists of edge indices
+}
+
+// New returns an empty graph with n nodes.
+func New(n int) *Graph {
+	return &Graph{n: n, adj: make([][]int32, n)}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return g.n }
+
+// AddNode appends a node and returns its index.
+func (g *Graph) AddNode() int {
+	g.adj = append(g.adj, nil)
+	g.n++
+	return g.n - 1
+}
+
+// AddEdge adds a directed edge from -> to with the given capacity and
+// per-unit cost, returning an edge handle usable with Flow.
+func (g *Graph) AddEdge(from, to int, capacity int64, cost float64) int {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		panic(fmt.Sprintf("mcmf: edge %d->%d outside graph of %d nodes", from, to, g.n))
+	}
+	if capacity < 0 {
+		panic("mcmf: negative capacity")
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, edge{to: to, cap: capacity, cost: cost})
+	g.edges = append(g.edges, edge{to: from, cap: 0, cost: -cost})
+	g.adj[from] = append(g.adj[from], int32(id))
+	g.adj[to] = append(g.adj[to], int32(id+1))
+	return id
+}
+
+// Flow returns the flow currently routed on edge id (forward direction).
+func (g *Graph) Flow(id int) int64 {
+	return g.edges[id^1].cap
+}
+
+// Capacity returns the original capacity of edge id.
+func (g *Graph) Capacity(id int) int64 {
+	return g.edges[id].cap + g.edges[id^1].cap
+}
+
+// Result summarizes a flow computation.
+type Result struct {
+	Flow int64
+	Cost float64
+	// Augmentations counts shortest-path rounds (diagnostic).
+	Augmentations int
+}
+
+// MinCostMaxFlow sends as much flow as possible from s to t, among maximum
+// flows choosing one of minimum cost. It runs successive shortest-path
+// augmentation; with nonnegative edge costs the intermediate flows are
+// min-cost for their value (so it can also be used for min-cost flow of a
+// target value via capacity gadgets).
+func (g *Graph) MinCostMaxFlow(s, t int) Result {
+	return g.minCost(s, t, math.MaxInt64)
+}
+
+// MinCostFlowValue sends exactly up to target units (less if the max flow is
+// smaller), minimizing cost of the routed flow.
+func (g *Graph) MinCostFlowValue(s, t int, target int64) Result {
+	return g.minCost(s, t, target)
+}
+
+func (g *Graph) minCost(s, t int, limit int64) Result {
+	var res Result
+	dist := make([]float64, g.n)
+	inQueue := make([]bool, g.n)
+	prevEdge := make([]int32, g.n)
+	queue := make([]int32, 0, g.n)
+	for res.Flow < limit {
+		// SPFA shortest path by cost in the residual graph.
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prevEdge[i] = -1
+		}
+		dist[s] = 0
+		queue = append(queue[:0], int32(s))
+		inQueue[s] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			inQueue[u] = false
+			du := dist[u]
+			for _, eid := range g.adj[u] {
+				e := &g.edges[eid]
+				if e.cap <= 0 {
+					continue
+				}
+				nd := du + e.cost
+				if nd < dist[e.to]-1e-12 {
+					dist[e.to] = nd
+					prevEdge[e.to] = eid
+					if !inQueue[e.to] {
+						queue = append(queue, int32(e.to))
+						inQueue[e.to] = true
+					}
+				}
+			}
+		}
+		if prevEdge[t] < 0 {
+			break // no augmenting path
+		}
+		// Bottleneck along the path.
+		bottleneck := limit - res.Flow
+		for v := t; v != s; {
+			e := &g.edges[prevEdge[v]]
+			if e.cap < bottleneck {
+				bottleneck = e.cap
+			}
+			v = g.edges[prevEdge[v]^1].to
+		}
+		// Apply.
+		for v := t; v != s; {
+			eid := prevEdge[v]
+			g.edges[eid].cap -= bottleneck
+			g.edges[eid^1].cap += bottleneck
+			v = g.edges[eid^1].to
+		}
+		res.Flow += bottleneck
+		res.Cost += dist[t] * float64(bottleneck)
+		res.Augmentations++
+	}
+	return res
+}
+
+// MaxFlow computes a maximum s-t flow ignoring costs (Dinic's algorithm).
+// It shares the residual state with the cost-based methods, so use a fresh
+// graph per computation.
+func (g *Graph) MaxFlow(s, t int) int64 {
+	level := make([]int32, g.n)
+	iter := make([]int, g.n)
+	queue := make([]int32, 0, g.n)
+	var total int64
+	for {
+		// BFS levels.
+		for i := range level {
+			level[i] = -1
+		}
+		level[s] = 0
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, eid := range g.adj[u] {
+				e := &g.edges[eid]
+				if e.cap > 0 && level[e.to] < 0 {
+					level[e.to] = level[u] + 1
+					queue = append(queue, int32(e.to))
+				}
+			}
+		}
+		if level[t] < 0 {
+			return total
+		}
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			f := g.dfs(s, t, math.MaxInt64, level, iter)
+			if f == 0 {
+				break
+			}
+			total += f
+		}
+	}
+}
+
+func (g *Graph) dfs(u, t int, limit int64, level []int32, iter []int) int64 {
+	if u == t {
+		return limit
+	}
+	for ; iter[u] < len(g.adj[u]); iter[u]++ {
+		eid := g.adj[u][iter[u]]
+		e := &g.edges[eid]
+		if e.cap <= 0 || level[e.to] != level[u]+1 {
+			continue
+		}
+		d := limit
+		if e.cap < d {
+			d = e.cap
+		}
+		f := g.dfs(e.to, t, d, level, iter)
+		if f > 0 {
+			g.edges[eid].cap -= f
+			g.edges[eid^1].cap += f
+			return f
+		}
+	}
+	return 0
+}

@@ -1,0 +1,68 @@
+package netmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteJSON serializes the instance to w (indented, stable field order via
+// encoding/json struct tags).
+func (in *Instance) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(in)
+}
+
+// ReadJSON parses an instance from r and validates it.
+func ReadJSON(r io.Reader) (*Instance, error) {
+	var in Instance
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("netmodel: decode instance: %w", err)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return &in, nil
+}
+
+// SaveFile writes the instance to path as JSON.
+func (in *Instance) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := in.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads and validates an instance from a JSON file.
+func LoadFile(path string) (*Instance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}
+
+// WriteDesignJSON serializes a design to w.
+func WriteDesignJSON(w io.Writer, d *Design) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// ReadDesignJSON parses a design from r.
+func ReadDesignJSON(r io.Reader) (*Design, error) {
+	var d Design
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("netmodel: decode design: %w", err)
+	}
+	return &d, nil
+}

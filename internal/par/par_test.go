@@ -1,0 +1,88 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAll(t *testing.T) {
+	const n = 1000
+	var hits [n]int32
+	ForEach(n, 4, func(i int) {
+		atomic.AddInt32(&hits[i], 1)
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(i int) { called = true })
+	ForEach(-3, 4, func(i int) { called = true })
+	if called {
+		t.Fatal("fn must not run for n <= 0")
+	}
+}
+
+func TestForEachSingleWorkerIsSerial(t *testing.T) {
+	order := make([]int, 0, 10)
+	ForEach(10, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial path out of order: %v", order)
+		}
+	}
+}
+
+func TestForEachDefaultWorkers(t *testing.T) {
+	var count int64
+	ForEach(100, 0, func(i int) { atomic.AddInt64(&count, 1) })
+	if count != 100 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestMapOrder(t *testing.T) {
+	out := Map(50, 8, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("Map[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestChunksPartition(t *testing.T) {
+	const n = 103
+	var hits [n]int32
+	Chunks(n, 7, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d covered %d times", i, h)
+		}
+	}
+}
+
+func TestChunksSmallN(t *testing.T) {
+	var hits [2]int32
+	Chunks(2, 16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	if hits[0] != 1 || hits[1] != 1 {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func BenchmarkForEachOverhead(b *testing.B) {
+	for n := 0; n < b.N; n++ {
+		ForEach(64, 8, func(i int) {})
+	}
+}

@@ -1,0 +1,133 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/netmodel"
+)
+
+func coloredDesign(in *netmodel.Instance, copies int) *netmodel.Design {
+	d := netmodel.NewDesign(in)
+	for j := 0; j < in.NumSinks; j++ {
+		used := map[int]bool{}
+		added := 0
+		for i := 0; i < in.NumReflectors && added < copies; i++ {
+			if used[in.Color[i]] {
+				continue
+			}
+			d.Serve[i][j] = true
+			used[in.Color[i]] = true
+			added++
+		}
+	}
+	d.Normalize(in)
+	return d
+}
+
+func TestCorrelatedMatchesIndependentAtZeroOutage(t *testing.T) {
+	in := gen.Clustered(gen.DefaultClustered(2, 2, 3, 4), 5)
+	d := coloredDesign(in, 2)
+	m := UniformOutage(in.NumColors, 0)
+	for j := 0; j < in.NumSinks; j++ {
+		exact := SinkFailureCorrelated(in, d, j, m)
+		plain := d.SinkFailureProb(in, j)
+		if math.Abs(exact-plain) > 1e-12 {
+			t.Fatalf("sink %d: %v vs %v at q=0", j, exact, plain)
+		}
+	}
+}
+
+func TestCorrelatedMatchesMonteCarlo(t *testing.T) {
+	in := gen.Clustered(gen.DefaultClustered(2, 2, 3, 4), 7)
+	d := coloredDesign(in, 3)
+	m := UniformOutage(in.NumColors, 0.1)
+	for j := 0; j < 4; j++ {
+		exact := SinkFailureCorrelated(in, d, j, m)
+		mc := MonteCarloCorrelated(in, d, j, 300000, m, 11)
+		tol := 5*math.Sqrt(math.Max(exact, 1e-5)/300000) + 1e-3
+		if math.Abs(exact-mc) > tol {
+			t.Fatalf("sink %d: exact %v vs MC %v", j, exact, mc)
+		}
+	}
+}
+
+func TestCorrelatedWorseThanIndependentPrediction(t *testing.T) {
+	// When all copies share one ISP, the independent prediction
+	// underestimates failure: it treats per-copy outages as independent
+	// while in reality they coincide.
+	in := gen.Clustered(gen.DefaultClustered(1, 2, 2, 3), 3)
+	d := netmodel.NewDesign(in)
+	// Serve sink 0 with two same-color reflectors.
+	var same []int
+	for i := 0; i < in.NumReflectors; i++ {
+		if in.Color[i] == 0 {
+			same = append(same, i)
+		}
+	}
+	if len(same) < 2 {
+		t.Skip("need two same-color reflectors")
+	}
+	d.Serve[same[0]][0] = true
+	d.Serve[same[1]][0] = true
+	d.Normalize(in)
+	m := UniformOutage(in.NumColors, 0.2)
+	exact := SinkFailureCorrelated(in, d, 0, m)
+	pred := IndependentPrediction(in, d, 0, m)
+	if exact <= pred {
+		t.Fatalf("correlated failure %v should exceed independent prediction %v for same-ISP copies", exact, pred)
+	}
+}
+
+func TestCorrelatedEqualForDiverseCopies(t *testing.T) {
+	// With one copy per ISP, outages hit copies independently, so the
+	// independent prediction is exact.
+	in := gen.Clustered(gen.DefaultClustered(1, 2, 3, 3), 4)
+	d := coloredDesign(in, 3)
+	m := UniformOutage(in.NumColors, 0.15)
+	for j := 0; j < in.NumSinks; j++ {
+		exact := SinkFailureCorrelated(in, d, j, m)
+		pred := IndependentPrediction(in, d, j, m)
+		if math.Abs(exact-pred) > 1e-12 {
+			t.Fatalf("sink %d: diverse copies should make prediction exact: %v vs %v", j, exact, pred)
+		}
+	}
+}
+
+func TestExpectedAvailabilityOrdering(t *testing.T) {
+	// Availability must decrease with outage probability.
+	in := gen.Clustered(gen.DefaultClustered(2, 2, 3, 4), 9)
+	d := coloredDesign(in, 3)
+	prev := 1.1
+	for _, q := range []float64{0, 0.05, 0.2, 0.5} {
+		av := ExpectedAvailability(in, d, UniformOutage(in.NumColors, q))
+		if av > prev+1e-12 {
+			t.Fatalf("availability rose with outage prob: %v -> %v at q=%v", prev, av, q)
+		}
+		prev = av
+	}
+}
+
+func TestUnservedSinkCorrelated(t *testing.T) {
+	in := gen.Clustered(gen.DefaultClustered(1, 2, 2, 2), 2)
+	d := netmodel.NewDesign(in)
+	m := UniformOutage(in.NumColors, 0.1)
+	if SinkFailureCorrelated(in, d, 0, m) != 1 {
+		t.Fatal("unserved sink must fail surely")
+	}
+	if IndependentPrediction(in, d, 0, m) != 1 {
+		t.Fatal("prediction for unserved sink must be 1")
+	}
+}
+
+func TestCorrelatedNoColors(t *testing.T) {
+	in := gen.Uniform(gen.DefaultUniform(1, 3, 2), 3)
+	d := netmodel.NewDesign(in)
+	d.Serve[0][0] = true
+	d.Normalize(in)
+	m := ISPOutageModel{}
+	if got, want := SinkFailureCorrelated(in, d, 0, m), d.SinkFailureProb(in, 0); got != want {
+		t.Fatalf("no colors: %v vs %v", got, want)
+	}
+}

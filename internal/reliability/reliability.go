@@ -1,0 +1,135 @@
+// Package reliability provides the probabilistic machinery of the paper:
+// exact per-sink failure probabilities for 3-level overlay designs (§1.3),
+// Monte-Carlo estimation of the same quantities (used to cross-check the
+// model and the packet simulator), and the Hoeffding–Chernoff tail bounds of
+// Theorem 4.2 / Appendix A that drive the w.h.p. analysis in §4.
+package reliability
+
+import (
+	"math"
+
+	"repro/internal/netmodel"
+	"repro/internal/par"
+	"repro/internal/stats"
+)
+
+// SinkFailure returns the exact probability that a packet of sink j's
+// stream is lost despite all serving reflectors: the product over chosen
+// reflectors i of (p_ki + p_ij − p_ki·p_ij). The product rule is exact in a
+// 3-level network because distinct two-hop paths to a sink share no links
+// (they recombine only at the sink, §1.5).
+func SinkFailure(in *netmodel.Instance, d *netmodel.Design, j int) float64 {
+	return d.SinkFailureProb(in, j)
+}
+
+// AllSinkFailures returns the exact failure probability of every sink.
+func AllSinkFailures(in *netmodel.Instance, d *netmodel.Design) []float64 {
+	out := make([]float64, in.NumSinks)
+	for j := range out {
+		out[j] = d.SinkFailureProb(in, j)
+	}
+	return out
+}
+
+// MonteCarloSinkFailure estimates sink j's failure probability by sampling:
+// each trial draws independent Bernoulli losses for the source→reflector
+// link of each serving reflector and the reflector→sink links, and the
+// packet is lost iff every copy dies. Trials are split across workers.
+func MonteCarloSinkFailure(in *netmodel.Instance, d *netmodel.Design, j, trials int, seed uint64) float64 {
+	k := in.Commodity[j]
+	var refls []int
+	for i := range d.Serve {
+		if d.Serve[i][j] {
+			refls = append(refls, i)
+		}
+	}
+	if len(refls) == 0 {
+		return 1
+	}
+	workers := 8
+	losses := par.Map(workers, workers, func(w int) int64 {
+		rng := stats.NewRNG(seed + uint64(w)*0x9e3779b97f4a7c15)
+		lo := w * trials / workers
+		hi := (w + 1) * trials / workers
+		var lost int64
+		for t := lo; t < hi; t++ {
+			allDead := true
+			for _, i := range refls {
+				// Copy survives iff both hops survive.
+				if !rng.Bernoulli(in.SrcRefLoss[k][i]) && !rng.Bernoulli(in.RefSinkLoss[i][j]) {
+					allDead = false
+					// Still consume RNG draws? Not needed for
+					// correctness; break for speed.
+					break
+				}
+			}
+			if allDead {
+				lost++
+			}
+		}
+		return lost
+	})
+	var total int64
+	for _, l := range losses {
+		total += l
+	}
+	return float64(total) / float64(trials)
+}
+
+// HoeffdingChernoffLower bounds Pr(S ≤ (1−δ)µ) for a sum S of independent
+// [0,1] variables with mean µ (Theorem 4.2): exp(−δ²µ/2).
+func HoeffdingChernoffLower(mu, delta float64) float64 {
+	return math.Exp(-delta * delta * mu / 2)
+}
+
+// HoeffdingChernoffUpper bounds Pr(S ≥ (1+δ)µ) (Theorem 4.2): exp(−δ²µ/3).
+func HoeffdingChernoffUpper(mu, delta float64) float64 {
+	return math.Exp(-delta * delta * mu / 3)
+}
+
+// RequiredC returns the smallest rounding constant c for which the §4
+// union bound makes all n weight constraints hold with probability ≥ 1−1/n
+// at violation parameter δ: the paper sets δ²·c = 4 (e.g. δ=1/4 ⇒ c=64).
+func RequiredC(delta float64) float64 {
+	return 4 / (delta * delta)
+}
+
+// EmpiricalTail measures Pr(S ≤ (1−δ)µ) and Pr(S ≥ (1+δ)µ) empirically for
+// sums of n i.i.d. uniform [0,1] variables, over the given number of trials.
+// The experiment suite compares these against the theorem's bounds (T12).
+func EmpiricalTail(n int, delta float64, trials int, seed uint64) (lowerTail, upperTail float64) {
+	mu := float64(n) / 2
+	var below, above int
+	rng := stats.NewRNG(seed)
+	for t := 0; t < trials; t++ {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += rng.Float64()
+		}
+		if s <= (1-delta)*mu {
+			below++
+		}
+		if s >= (1+delta)*mu {
+			above++
+		}
+	}
+	return float64(below) / float64(trials), float64(above) / float64(trials)
+}
+
+// MinReflectorsFor returns how many disjoint copies with per-copy failure
+// probability p a sink needs to reach success threshold phi: the smallest m
+// with p^m ≤ 1−phi. Used by the redundancy-curve experiment (T5).
+func MinReflectorsFor(p, phi float64) int {
+	if p <= 0 {
+		return 1
+	}
+	if p >= 1 {
+		return math.MaxInt32
+	}
+	need := math.Log(1-phi) / math.Log(p)
+	m := int(math.Ceil(need - 1e-12))
+	if m < 1 {
+		m = 1
+	}
+	return m
+}

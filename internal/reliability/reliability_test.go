@@ -1,0 +1,140 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/netmodel"
+)
+
+func designServingAll(in *netmodel.Instance, copies int) *netmodel.Design {
+	d := netmodel.NewDesign(in)
+	for j := 0; j < in.NumSinks; j++ {
+		for i := 0; i < copies && i < in.NumReflectors; i++ {
+			d.Serve[i][j] = true
+		}
+	}
+	d.Normalize(in)
+	return d
+}
+
+func TestExactMatchesMonteCarlo(t *testing.T) {
+	in := gen.Uniform(gen.DefaultUniform(2, 5, 6), 3)
+	d := designServingAll(in, 3)
+	for j := 0; j < in.NumSinks; j++ {
+		exact := SinkFailure(in, d, j)
+		mc := MonteCarloSinkFailure(in, d, j, 400000, 7)
+		// Standard error ~ sqrt(p/n); allow 5 sigma plus float fuzz.
+		tol := 5*math.Sqrt(math.Max(exact, 1e-6)/400000) + 1e-6
+		if math.Abs(exact-mc) > tol {
+			t.Fatalf("sink %d: exact %v vs MC %v (tol %v)", j, exact, mc, tol)
+		}
+	}
+}
+
+func TestUnservedSinkFailsSurely(t *testing.T) {
+	in := gen.Uniform(gen.DefaultUniform(1, 3, 2), 1)
+	d := netmodel.NewDesign(in)
+	if MonteCarloSinkFailure(in, d, 0, 100, 1) != 1 {
+		t.Fatal("unserved sink must fail with probability 1")
+	}
+	if SinkFailure(in, d, 0) != 1 {
+		t.Fatal("exact failure of unserved sink must be 1")
+	}
+}
+
+func TestAllSinkFailures(t *testing.T) {
+	in := gen.Uniform(gen.DefaultUniform(1, 4, 5), 2)
+	d := designServingAll(in, 2)
+	fs := AllSinkFailures(in, d)
+	if len(fs) != in.NumSinks {
+		t.Fatalf("len = %d", len(fs))
+	}
+	for j, f := range fs {
+		if math.Abs(f-d.SinkFailureProb(in, j)) > 1e-15 {
+			t.Fatalf("sink %d mismatch", j)
+		}
+	}
+}
+
+// More copies can only reduce failure probability.
+func TestMonotoneInCopies(t *testing.T) {
+	in := gen.Uniform(gen.DefaultUniform(1, 6, 3), 5)
+	prev := 1.1
+	for copies := 1; copies <= 4; copies++ {
+		d := designServingAll(in, copies)
+		f := SinkFailure(in, d, 0)
+		if f > prev+1e-15 {
+			t.Fatalf("failure rose with more copies: %v -> %v", prev, f)
+		}
+		prev = f
+	}
+}
+
+func TestChernoffBoundsFormulas(t *testing.T) {
+	if got := HoeffdingChernoffLower(32, 0.25); math.Abs(got-math.Exp(-0.25*0.25*32/2)) > 1e-15 {
+		t.Fatalf("lower bound = %v", got)
+	}
+	if got := HoeffdingChernoffUpper(32, 0.25); math.Abs(got-math.Exp(-0.25*0.25*32/3)) > 1e-15 {
+		t.Fatalf("upper bound = %v", got)
+	}
+}
+
+func TestRequiredC(t *testing.T) {
+	// δ=1/4 ⇒ c=64 (the paper's headline constant).
+	if c := RequiredC(0.25); math.Abs(c-64) > 1e-12 {
+		t.Fatalf("RequiredC(1/4) = %v, want 64", c)
+	}
+	if c := RequiredC(0.5); math.Abs(c-16) > 1e-12 {
+		t.Fatalf("RequiredC(1/2) = %v, want 16", c)
+	}
+}
+
+// TestEmpiricalTailsRespectBounds: the theorem's bound must dominate the
+// empirical tail for sums of uniforms (µ = n/2).
+func TestEmpiricalTailsRespectBounds(t *testing.T) {
+	n := 40
+	delta := 0.3
+	lower, upper := EmpiricalTail(n, delta, 20000, 3)
+	mu := float64(n) / 2
+	if lower > HoeffdingChernoffLower(mu, delta)+0.01 {
+		t.Fatalf("empirical lower tail %v exceeds bound %v", lower, HoeffdingChernoffLower(mu, delta))
+	}
+	if upper > HoeffdingChernoffUpper(mu, delta)+0.01 {
+		t.Fatalf("empirical upper tail %v exceeds bound %v", upper, HoeffdingChernoffUpper(mu, delta))
+	}
+}
+
+func TestMinReflectorsFor(t *testing.T) {
+	// p=0.1, phi=0.99 ⇒ need 0.1^m ≤ 0.01 ⇒ m=2.
+	if m := MinReflectorsFor(0.1, 0.99); m != 2 {
+		t.Fatalf("m = %d, want 2", m)
+	}
+	// p=0.1, phi=0.999 ⇒ m=3.
+	if m := MinReflectorsFor(0.1, 0.999); m != 3 {
+		t.Fatalf("m = %d, want 3", m)
+	}
+	if m := MinReflectorsFor(0, 0.9999); m != 1 {
+		t.Fatalf("perfect path needs 1 copy, got %d", m)
+	}
+}
+
+// Property: m copies at failure p reach threshold iff p^m ≤ 1-phi.
+func TestMinReflectorsQuick(t *testing.T) {
+	f := func(a, b uint8) bool {
+		p := 0.01 + 0.98*float64(a)/255
+		phi := 0.5 + 0.4999*float64(b)/255
+		m := MinReflectorsFor(p, phi)
+		if m < 1 || m > 1e6 {
+			return true // extreme; skip
+		}
+		ok := math.Pow(p, float64(m)) <= (1-phi)+1e-12
+		tooFew := m == 1 || math.Pow(p, float64(m-1)) > (1-phi)-1e-12
+		return ok && tooFew
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

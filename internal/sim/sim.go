@@ -1,0 +1,392 @@
+// Package sim is a packet-level simulator for overlay multicast designs: it
+// plays a sequence of stream packets through the 3-level network of the
+// paper, drops them on each link according to a loss model, and reconstructs
+// the stream at each edgeserver the way §1.1 describes — combining the
+// copies arriving from different reflectors, discarding duplicates, filling
+// holes, and treating packets that arrive after the playback deadline as
+// lost ("packets that arrive very late or significantly out-of-order must
+// also be considered effectively useless", §1.2).
+//
+// Loss on a single link may be correlated in time (Gilbert–Elliott bursts):
+// §1.3 explicitly allows correlated loss *within* a link while assuming
+// independence *across* links, and the simulator honors exactly that: one
+// loss-process instance per link, shared by everything crossing the link.
+// In particular a drop on a source→reflector link affects every sink served
+// by that reflector — a correlation the closed-form analysis also captures.
+//
+// Simulation is parallel across (stream, sink) pairs with deterministic
+// per-link seeds, so results are reproducible regardless of worker count.
+package sim
+
+import (
+	"math"
+
+	"repro/internal/netmodel"
+	"repro/internal/par"
+	"repro/internal/stats"
+)
+
+// LossModel selects the per-link packet-loss process.
+type LossModel int
+
+// Supported loss models.
+const (
+	// IID drops each packet independently with the link's probability.
+	IID LossModel = iota
+	// GilbertElliott drops packets according to a two-state Markov chain
+	// (good/bad) whose stationary loss matches the link's probability;
+	// losses come in bursts.
+	GilbertElliott
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Packets per stream (default 10_000).
+	Packets int
+	// Model selects the loss process (default IID).
+	Model LossModel
+	// BurstFactor (> 1) controls Gilbert–Elliott burstiness: the bad
+	// state loses packets at min(1, BurstFactor·p) and the chain dwells
+	// in it for MeanBurstLen packets on average. Default 10.
+	BurstFactor float64
+	// MeanBurstLen is the expected bad-state dwell time in packets
+	// (default 8).
+	MeanBurstLen float64
+	// Per-hop transit time: Base plus an exponential tail with the given
+	// mean (milliseconds). A packet copy is usable only if its total
+	// delay is at most Deadline.
+	BaseDelayMs, JitterMeanMs, DeadlineMs float64
+	// Seed drives every loss process and delay draw.
+	Seed uint64
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+	// TrackCoLoss additionally records per-packet joint losses across
+	// sinks and reports Result.CoLossRatio — the §1.4 "all leaves
+	// downstream see the same loss" signature of tree distribution.
+	TrackCoLoss bool
+}
+
+// DefaultConfig returns a 10k-packet IID run with a generous deadline.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Packets:     10000,
+		Model:       IID,
+		BurstFactor: 10, MeanBurstLen: 8,
+		BaseDelayMs: 20, JitterMeanMs: 15, DeadlineMs: 4000,
+		Seed: seed,
+	}
+}
+
+// SinkStats reports reconstruction quality at one sink.
+type SinkStats struct {
+	Sink int
+	// PostLoss is the post-reconstruction loss fraction.
+	PostLoss float64
+	// Copies is the number of serving reflectors.
+	Copies int
+	// MeetsThreshold compares delivered quality 1−PostLoss against Φ_j.
+	MeetsThreshold bool
+	// DupRatio is received copies per delivered packet (bandwidth
+	// overhead of redundancy).
+	DupRatio float64
+	// LatePackets counts copies discarded for missing the deadline.
+	LatePackets int
+}
+
+// Result aggregates a simulation.
+type Result struct {
+	Sinks []SinkStats
+	// MeetCount is the number of demanding sinks meeting their threshold.
+	MeetCount, DemandingSinks int
+	// MeanPostLoss averages post-reconstruction loss over demanding sinks.
+	MeanPostLoss float64
+	// WorstPostLoss is the maximum.
+	WorstPostLoss float64
+	// CoLossRatio (only when Config.TrackCoLoss) compares observed joint
+	// pair losses with the independence prediction: 1 ≈ independent
+	// losses across sinks; ≫ 1 means sinks lose the *same* packets
+	// (shared-upstream correlation — the tree failure mode of §1.4).
+	// Computed per commodity over its demanding sinks, aggregated by
+	// pair count; 0 when not tracked or no sink pair shares a stream.
+	CoLossRatio float64
+	// JointLossRate (only when Config.TrackCoLoss) is the absolute
+	// companion: the probability that a random same-stream sink pair
+	// loses the same packet, averaged over pairs and packets. Unlike the
+	// ratio it is not normalized by the base loss rate, so it directly
+	// ranks designs by simultaneous-outage exposure.
+	JointLossRate float64
+}
+
+// linkProcess generates per-packet loss decisions for one link.
+type linkProcess struct {
+	model  LossModel
+	p      float64
+	rng    *stats.RNG
+	inBad  bool
+	pGB    float64 // good→bad transition probability
+	pBG    float64 // bad→good
+	lossG  float64
+	lossB  float64
+	burstF float64
+}
+
+func newLinkProcess(cfg *Config, p float64, seed uint64) *linkProcess {
+	lp := &linkProcess{model: cfg.Model, p: p, rng: stats.NewRNG(seed)}
+	if cfg.Model == GilbertElliott {
+		// Bad state loses at lossB = min(1, burstFactor·p); choose the
+		// stationary bad-state probability πB so that
+		// πB·lossB + (1−πB)·lossG = p with lossG = p/4 (residual
+		// good-state loss). Dwell time in bad ≈ MeanBurstLen packets.
+		lp.lossB = math.Min(1, cfg.BurstFactor*p)
+		lp.lossG = p / 4
+		den := lp.lossB - lp.lossG
+		piB := 0.0
+		if den > 0 {
+			piB = (p - lp.lossG) / den
+		}
+		if piB > 0.9 {
+			piB = 0.9
+		}
+		lp.pBG = 1 / math.Max(cfg.MeanBurstLen, 1)
+		// πB = pGB / (pGB + pBG)  ⇒  pGB = πB·pBG / (1−πB).
+		lp.pGB = piB * lp.pBG / math.Max(1-piB, 1e-9)
+		if lp.pGB > 1 {
+			lp.pGB = 1
+		}
+	}
+	return lp
+}
+
+// lost advances the process one packet and reports whether it was dropped.
+func (l *linkProcess) lost() bool {
+	switch l.model {
+	case GilbertElliott:
+		if l.inBad {
+			if l.rng.Bernoulli(l.pBG) {
+				l.inBad = false
+			}
+		} else {
+			if l.rng.Bernoulli(l.pGB) {
+				l.inBad = true
+			}
+		}
+		if l.inBad {
+			return l.rng.Bernoulli(l.lossB)
+		}
+		return l.rng.Bernoulli(l.lossG)
+	default:
+		return l.rng.Bernoulli(l.p)
+	}
+}
+
+// linkSeed derives a deterministic seed for a link from the run seed.
+func linkSeed(seed uint64, kind, a, b int) uint64 {
+	h := seed
+	for _, v := range [3]int{kind, a, b} {
+		h ^= uint64(v) + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		h *= 0xbf58476d1ce4e5b9
+	}
+	return h
+}
+
+// Run simulates the design and returns per-sink reconstruction quality.
+func Run(in *netmodel.Instance, d *netmodel.Design, cfg Config) *Result {
+	if cfg.Packets <= 0 {
+		cfg.Packets = 10000
+	}
+	if cfg.DeadlineMs <= 0 {
+		cfg.DeadlineMs = 4000
+	}
+	S, R, D := in.Dims()
+
+	// Stage 1: per (commodity, reflector) link — arrival time of each
+	// packet at the reflector (NaN = lost). Built serially per link but
+	// links in parallel; each link's process is self-seeded.
+	type refArrival struct {
+		times []float64 // arrival time at reflector, NaN if lost
+	}
+	arrivals := make([][]*refArrival, S)
+	type linkJob struct{ k, i int }
+	var jobs []linkJob
+	for k := 0; k < S; k++ {
+		arrivals[k] = make([]*refArrival, R)
+		for i := 0; i < R; i++ {
+			if d.Ingest[k][i] {
+				jobs = append(jobs, linkJob{k, i})
+			}
+		}
+	}
+	par.ForEach(len(jobs), cfg.Workers, func(idx int) {
+		k, i := jobs[idx].k, jobs[idx].i
+		proc := newLinkProcess(&cfg, in.SrcRefLoss[k][i], linkSeed(cfg.Seed, 1, k, i))
+		delayRNG := stats.NewRNG(linkSeed(cfg.Seed, 2, k, i))
+		ra := &refArrival{times: make([]float64, cfg.Packets)}
+		for p := 0; p < cfg.Packets; p++ {
+			if proc.lost() {
+				ra.times[p] = math.NaN()
+				continue
+			}
+			ra.times[p] = cfg.BaseDelayMs + delayRNG.Exponential(1/math.Max(cfg.JitterMeanMs, 1e-9))
+		}
+		arrivals[k][i] = ra
+	})
+
+	// Stage 2: per sink — combine copies from serving reflectors.
+	res := &Result{Sinks: make([]SinkStats, D)}
+	var lostBy [][]bool // per sink, per packet (TrackCoLoss only)
+	if cfg.TrackCoLoss {
+		lostBy = make([][]bool, D)
+	}
+	par.ForEach(D, cfg.Workers, func(j int) {
+		k := in.Commodity[j]
+		var refls []int
+		for i := 0; i < R; i++ {
+			if d.Serve[i][j] {
+				refls = append(refls, i)
+			}
+		}
+		st := SinkStats{Sink: j, Copies: len(refls)}
+		if len(refls) == 0 {
+			st.PostLoss = 1
+			st.MeetsThreshold = in.Threshold[j] <= 0
+			if cfg.TrackCoLoss {
+				all := make([]bool, cfg.Packets)
+				for p := range all {
+					all[p] = true
+				}
+				lostBy[j] = all
+			}
+			res.Sinks[j] = st
+			return
+		}
+		// One loss process + delay stream per reflector→sink link.
+		procs := make([]*linkProcess, len(refls))
+		delays := make([]*stats.RNG, len(refls))
+		for idx, i := range refls {
+			procs[idx] = newLinkProcess(&cfg, in.RefSinkLoss[i][j], linkSeed(cfg.Seed, 3, i, j))
+			delays[idx] = stats.NewRNG(linkSeed(cfg.Seed, 4, i, j))
+		}
+		delivered := 0
+		received := 0
+		late := 0
+		var lossTrack []bool
+		if cfg.TrackCoLoss {
+			lossTrack = make([]bool, cfg.Packets)
+		}
+		for p := 0; p < cfg.Packets; p++ {
+			got := false
+			for idx, i := range refls {
+				atRef := arrivals[k][i].times[p]
+				// The reflector forwards only copies it received;
+				// the loss process still advances per packet slot
+				// (the link carries the slot whether or not this
+				// reflector got the packet — keeps processes
+				// aligned and deterministic).
+				lostHop2 := procs[idx].lost()
+				d2 := cfg.BaseDelayMs + delays[idx].Exponential(1/math.Max(cfg.JitterMeanMs, 1e-9))
+				if math.IsNaN(atRef) || lostHop2 {
+					continue
+				}
+				t := atRef + d2
+				if t > cfg.DeadlineMs {
+					late++
+					continue
+				}
+				received++
+				got = true
+			}
+			if got {
+				delivered++
+			} else if lossTrack != nil {
+				lossTrack[p] = true
+			}
+		}
+		if cfg.TrackCoLoss {
+			lostBy[j] = lossTrack
+		}
+		st.PostLoss = 1 - float64(delivered)/float64(cfg.Packets)
+		st.MeetsThreshold = 1-st.PostLoss >= in.Threshold[j]-1e-12
+		if delivered > 0 {
+			st.DupRatio = float64(received) / float64(delivered)
+		}
+		st.LatePackets = late
+		res.Sinks[j] = st
+	})
+
+	var sum float64
+	for j := 0; j < D; j++ {
+		if in.Threshold[j] <= 0 {
+			continue
+		}
+		res.DemandingSinks++
+		s := res.Sinks[j]
+		sum += s.PostLoss
+		if s.PostLoss > res.WorstPostLoss {
+			res.WorstPostLoss = s.PostLoss
+		}
+		if s.MeetsThreshold {
+			res.MeetCount++
+		}
+	}
+	if res.DemandingSinks > 0 {
+		res.MeanPostLoss = sum / float64(res.DemandingSinks)
+	}
+	if cfg.TrackCoLoss {
+		res.CoLossRatio, res.JointLossRate = coLossStats(in, lostBy, cfg.Packets)
+	}
+	return res
+}
+
+// coLossStats compares observed joint pair losses with the independence
+// prediction, per commodity, aggregated over all same-stream sink pairs,
+// and also returns the absolute joint-loss rate per (pair, packet).
+func coLossStats(in *netmodel.Instance, lostBy [][]bool, packets int) (ratio, jointRate float64) {
+	byK := in.SinksOfCommodity()
+	var observed, expected, pairs float64
+	for _, sinks := range byK {
+		var group []int
+		for _, j := range sinks {
+			if in.Threshold[j] > 0 && lostBy[j] != nil {
+				group = append(group, j)
+			}
+		}
+		if len(group) < 2 {
+			continue
+		}
+		pairs += float64(len(group)*(len(group)-1)) / 2
+		lossCount := make([]float64, len(group))
+		for gi, j := range group {
+			n := 0
+			for _, l := range lostBy[j] {
+				if l {
+					n++
+				}
+			}
+			lossCount[gi] = float64(n)
+		}
+		// Observed joint pairs: Σ_p c_p(c_p−1)/2.
+		for p := 0; p < packets; p++ {
+			c := 0
+			for _, j := range group {
+				if lostBy[j][p] {
+					c++
+				}
+			}
+			observed += float64(c*(c-1)) / 2
+		}
+		// Independence prediction: Σ_{i<j} lost_i·lost_j / packets.
+		var sumL, sumL2 float64
+		for _, l := range lossCount {
+			sumL += l
+			sumL2 += l * l
+		}
+		expected += (sumL*sumL - sumL2) / 2 / float64(packets)
+	}
+	if pairs > 0 {
+		jointRate = observed / pairs / float64(packets)
+	}
+	if expected <= 0 {
+		return 0, jointRate
+	}
+	return observed / expected, jointRate
+}

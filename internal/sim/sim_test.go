@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/netmodel"
+	"repro/internal/reliability"
+)
+
+func designServing(in *netmodel.Instance, copies int) *netmodel.Design {
+	d := netmodel.NewDesign(in)
+	for j := 0; j < in.NumSinks; j++ {
+		for i := 0; i < copies && i < in.NumReflectors; i++ {
+			d.Serve[i][j] = true
+		}
+	}
+	d.Normalize(in)
+	return d
+}
+
+func TestSimMatchesAnalyticIID(t *testing.T) {
+	in := gen.Uniform(gen.DefaultUniform(1, 4, 5), 7)
+	d := designServing(in, 2)
+	cfg := DefaultConfig(3)
+	cfg.Packets = 60000
+	cfg.DeadlineMs = 1e9 // disable lateness; pure loss comparison
+	res := Run(in, d, cfg)
+	for j := 0; j < in.NumSinks; j++ {
+		want := reliability.SinkFailure(in, d, j)
+		got := res.Sinks[j].PostLoss
+		tol := 5*math.Sqrt(math.Max(want, 1e-6)/float64(cfg.Packets)) + 1e-4
+		if math.Abs(got-want) > tol {
+			t.Fatalf("sink %d: sim loss %v vs analytic %v (tol %v)", j, got, want, tol)
+		}
+	}
+}
+
+func TestSimDeterministic(t *testing.T) {
+	in := gen.Uniform(gen.DefaultUniform(1, 4, 5), 7)
+	d := designServing(in, 2)
+	cfg := DefaultConfig(5)
+	cfg.Packets = 5000
+	a := Run(in, d, cfg)
+	b := Run(in, d, cfg)
+	for j := range a.Sinks {
+		if a.Sinks[j].PostLoss != b.Sinks[j].PostLoss {
+			t.Fatal("same seed must reproduce identical losses")
+		}
+	}
+	// And independent of worker count.
+	cfg.Workers = 1
+	c := Run(in, d, cfg)
+	for j := range a.Sinks {
+		if a.Sinks[j].PostLoss != c.Sinks[j].PostLoss {
+			t.Fatal("results must not depend on parallelism")
+		}
+	}
+}
+
+func TestMoreCopiesReduceLoss(t *testing.T) {
+	in := gen.Uniform(gen.DefaultUniform(1, 5, 4), 9)
+	cfg := DefaultConfig(11)
+	cfg.Packets = 30000
+	cfg.DeadlineMs = 1e9
+	prevMean := 1.1
+	for copies := 1; copies <= 3; copies++ {
+		res := Run(in, designServing(in, copies), cfg)
+		if res.MeanPostLoss > prevMean+0.002 {
+			t.Fatalf("mean loss rose with more copies: %v -> %v", prevMean, res.MeanPostLoss)
+		}
+		prevMean = res.MeanPostLoss
+	}
+}
+
+func TestUnservedSinkTotalLoss(t *testing.T) {
+	in := gen.Uniform(gen.DefaultUniform(1, 3, 2), 2)
+	d := netmodel.NewDesign(in)
+	res := Run(in, d, DefaultConfig(1))
+	for _, s := range res.Sinks {
+		if s.PostLoss != 1 {
+			t.Fatalf("unserved sink loss %v", s.PostLoss)
+		}
+	}
+	if res.MeetCount != 0 {
+		t.Fatal("no sink can meet threshold unserved")
+	}
+}
+
+func TestGilbertElliottMatchesAverage(t *testing.T) {
+	// GE process must reproduce the configured average loss within a few
+	// percent over a long run (one copy, single hop dominated by hop2:
+	// make hop1 lossless).
+	in := gen.Uniform(gen.DefaultUniform(1, 1, 1), 4)
+	in.SrcRefLoss[0][0] = netmodel.ProbEps
+	in.RefSinkLoss[0][0] = 0.05
+	d := designServing(in, 1)
+	cfg := DefaultConfig(6)
+	cfg.Model = GilbertElliott
+	cfg.Packets = 300000
+	cfg.DeadlineMs = 1e9
+	res := Run(in, d, cfg)
+	if math.Abs(res.Sinks[0].PostLoss-0.05) > 0.01 {
+		t.Fatalf("GE average loss %v, want ≈0.05", res.Sinks[0].PostLoss)
+	}
+}
+
+func TestGilbertElliottBurstier(t *testing.T) {
+	// With equal average loss, bursty losses on the two *distinct* links
+	// of a 2-copy sink overlap less often per-packet... they are
+	// independent processes, so the post-reconstruction loss stays close
+	// to p² either way; what must differ is the *burst structure* of a
+	// single link. Measure consecutive-loss runs on one link.
+	condLoss := func(model LossModel) float64 {
+		cfg := DefaultConfig(8)
+		cfg.Model = model
+		cfg.Packets = 200000
+		cfg.DeadlineMs = 1e9
+		proc := newLinkProcess(&cfg, 0.05, 12345)
+		// P(loss at t+1 | loss at t): the burstiness signature.
+		prevLost := false
+		pairs, both := 0, 0
+		for p := 0; p < cfg.Packets; p++ {
+			l := proc.lost()
+			if prevLost {
+				pairs++
+				if l {
+					both++
+				}
+			}
+			prevLost = l
+		}
+		if pairs == 0 {
+			return 0
+		}
+		return float64(both) / float64(pairs)
+	}
+	iid := condLoss(IID)
+	ge := condLoss(GilbertElliott)
+	// IID: P(loss|loss) = p = 0.05. GE with lossB=0.5 and mean dwell 8:
+	// ≈ (1-1/8)·0.5 ≈ 0.44. Require a clear multiple.
+	if ge < 4*iid {
+		t.Fatalf("GE conditional loss %v not appreciably burstier than IID %v", ge, iid)
+	}
+}
+
+func TestDeadlineCausesLoss(t *testing.T) {
+	in := gen.Uniform(gen.DefaultUniform(1, 2, 2), 3)
+	for i := 0; i < 2; i++ {
+		in.SrcRefLoss[0][i] = netmodel.ProbEps
+		for j := 0; j < 2; j++ {
+			in.RefSinkLoss[i][j] = netmodel.ProbEps
+		}
+	}
+	d := designServing(in, 1)
+	cfg := DefaultConfig(2)
+	cfg.Packets = 20000
+	cfg.BaseDelayMs = 50
+	cfg.JitterMeanMs = 100
+	cfg.DeadlineMs = 120 // tight: base 2×50 + jitter must fit in 20ms
+	res := Run(in, d, cfg)
+	if res.Sinks[0].PostLoss < 0.1 {
+		t.Fatalf("tight deadline should cause loss, got %v", res.Sinks[0].PostLoss)
+	}
+	if res.Sinks[0].LatePackets == 0 {
+		t.Fatal("late packets must be counted")
+	}
+	// Loosening the deadline must reduce the loss.
+	cfg.DeadlineMs = 5000
+	res2 := Run(in, d, cfg)
+	if res2.Sinks[0].PostLoss >= res.Sinks[0].PostLoss {
+		t.Fatal("longer deadline cannot increase loss")
+	}
+}
+
+func TestDupRatio(t *testing.T) {
+	// Two nearly lossless copies: roughly 2 received per delivered.
+	in := gen.Uniform(gen.DefaultUniform(1, 2, 1), 3)
+	for i := 0; i < 2; i++ {
+		in.SrcRefLoss[0][i] = netmodel.ProbEps
+		in.RefSinkLoss[i][0] = netmodel.ProbEps
+	}
+	d := designServing(in, 2)
+	cfg := DefaultConfig(4)
+	cfg.Packets = 5000
+	cfg.DeadlineMs = 1e9
+	res := Run(in, d, cfg)
+	if math.Abs(res.Sinks[0].DupRatio-2) > 0.05 {
+		t.Fatalf("dup ratio %v, want ≈2", res.Sinks[0].DupRatio)
+	}
+}
+
+func TestSharedUpstreamCorrelation(t *testing.T) {
+	// Two sinks fed by the SAME reflector share hop-1 losses: when the
+	// source→reflector link drops a packet, both sinks lose it. With a
+	// very lossy hop 1 and lossless hop 2, the two sinks' losses must be
+	// identical packet sets — detectable via equal loss rates and, more
+	// strongly, by the joint rate equaling the marginal rate.
+	in := gen.Uniform(gen.DefaultUniform(1, 1, 2), 5)
+	in.SrcRefLoss[0][0] = 0.3
+	in.RefSinkLoss[0][0] = netmodel.ProbEps
+	in.RefSinkLoss[0][1] = netmodel.ProbEps
+	d := designServing(in, 1)
+	cfg := DefaultConfig(9)
+	cfg.Packets = 50000
+	cfg.DeadlineMs = 1e9
+	res := Run(in, d, cfg)
+	if math.Abs(res.Sinks[0].PostLoss-res.Sinks[1].PostLoss) > 1e-12 {
+		t.Fatalf("shared upstream must give identical losses: %v vs %v",
+			res.Sinks[0].PostLoss, res.Sinks[1].PostLoss)
+	}
+	if math.Abs(res.Sinks[0].PostLoss-0.3) > 0.02 {
+		t.Fatalf("loss %v, want ≈0.3", res.Sinks[0].PostLoss)
+	}
+}
+
+func TestCoLossTreeVsMultiPath(t *testing.T) {
+	// Two sinks of the same stream. Tree: both behind ONE reflector with
+	// a lossy upstream — joint losses abound. Multi-path: each sink gets
+	// two copies via different reflectors — joint losses nearly vanish.
+	in := gen.Uniform(gen.DefaultUniform(1, 2, 2), 6)
+	for i := 0; i < 2; i++ {
+		in.SrcRefLoss[0][i] = 0.1
+		for j := 0; j < 2; j++ {
+			in.RefSinkLoss[i][j] = 0.01
+		}
+	}
+	cfg := DefaultConfig(3)
+	cfg.Packets = 40000
+	cfg.DeadlineMs = 1e9
+	cfg.TrackCoLoss = true
+
+	treeD := netmodel.NewDesign(in)
+	treeD.Serve[0][0] = true
+	treeD.Serve[0][1] = true
+	treeD.Normalize(in)
+	treeRes := Run(in, treeD, cfg)
+
+	multiD := netmodel.NewDesign(in)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			multiD.Serve[i][j] = true
+		}
+	}
+	multiD.Normalize(in)
+	multiRes := Run(in, multiD, cfg)
+
+	if treeRes.JointLossRate <= multiRes.JointLossRate {
+		t.Fatalf("tree joint-loss rate %v must exceed multi-path %v",
+			treeRes.JointLossRate, multiRes.JointLossRate)
+	}
+	// The tree's co-loss ratio must be well above 1: the shared upstream
+	// at 10%% loss forces identical losses.
+	if treeRes.CoLossRatio < 1.5 {
+		t.Fatalf("tree co-loss ratio %v not clearly correlated", treeRes.CoLossRatio)
+	}
+}
+
+func TestCoLossUntrackedZero(t *testing.T) {
+	in := gen.Uniform(gen.DefaultUniform(1, 2, 2), 6)
+	d := designServing(in, 1)
+	cfg := DefaultConfig(3)
+	cfg.Packets = 1000
+	res := Run(in, d, cfg)
+	if res.CoLossRatio != 0 || res.JointLossRate != 0 {
+		t.Fatal("co-loss stats must be zero when not tracked")
+	}
+}

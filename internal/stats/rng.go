@@ -1,0 +1,135 @@
+// Package stats provides deterministic random number generation, summary
+// statistics, and fixed-width table formatting shared by the solver,
+// simulator, and experiment harness.
+//
+// All randomized components in this repository draw from RNG, a splitmix64
+// generator with an explicit seed, so that every experiment table is exactly
+// reproducible from its seed.
+package stats
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator based on
+// splitmix64. It is not safe for concurrent use; derive independent streams
+// with Split for parallel work.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Two generators with the same
+// seed produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Split derives a statistically independent generator from r. The derived
+// stream is a deterministic function of r's current state, and advancing r
+// afterwards does not affect it.
+func (r *RNG) Split() *RNG {
+	// Mix the child seed through one extra round so parent and child
+	// sequences diverge immediately.
+	s := r.Uint64()
+	s ^= 0x9e3779b97f4a7c15
+	return &RNG{state: s * 0xbf58476d1ce4e5b9}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform float64 in [0,1).
+func (r *RNG) Float64() float64 {
+	// 53 random mantissa bits.
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0,n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	// Rejection-free modulo is fine here: n is always far below 2^63 in
+	// this codebase, so modulo bias is negligible (< 2^-40), but use
+	// Lemire's multiply-shift reduction anyway for uniformity.
+	v := r.Uint64()
+	hi, lo := mul64(v, uint64(n))
+	if lo < uint64(n) {
+		thresh := uint64(-n) % uint64(n)
+		for lo < thresh {
+			v = r.Uint64()
+			hi, lo = mul64(v, uint64(n))
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	aLo, aHi := a&mask32, a>>32
+	bLo, bHi := b&mask32, b>>32
+	t := aLo * bLo
+	lo32 := t & mask32
+	carry := t >> 32
+	t = aHi*bLo + carry
+	mid1 := t & mask32
+	hi1 := t >> 32
+	t = aLo*bHi + mid1
+	mid2 := t & mask32
+	hi2 := t >> 32
+	hi = aHi*bHi + hi1 + hi2
+	lo = mid2<<32 | lo32
+	return hi, lo
+}
+
+// Range returns a uniform float64 in [lo, hi).
+func (r *RNG) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Perm returns a random permutation of [0,n) (Fisher–Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// NormFloat64 returns a standard normal variate (Box–Muller; one value per
+// call, the pair's second half is discarded for simplicity).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		v := r.Float64()
+		return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+	}
+}
+
+// Exponential returns an exponential variate with the given rate (mean 1/rate).
+func (r *RNG) Exponential(rate float64) float64 {
+	for {
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		return -math.Log(u) / rate
+	}
+}

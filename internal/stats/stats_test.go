@@ -1,0 +1,253 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(5), NewRNG(5)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}
+
+func TestRNGFloatRange(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v outside [0,1)", f)
+		}
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	r := NewRNG(2)
+	const buckets = 10
+	counts := make([]int, buckets)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[int(r.Float64()*buckets)]++
+	}
+	for b, c := range counts {
+		got := float64(c) / n
+		if math.Abs(got-0.1) > 0.01 {
+			t.Fatalf("bucket %d frequency %v, want ~0.1", b, got)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) hit only %d values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewRNG(9)
+	child := parent.Split()
+	// Child stream must differ from the parent's continued stream.
+	same := 0
+	for i := 0; i < 64; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("parent and child streams overlap in %d/64 draws", same)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(4)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("bad permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestBernoulliMean(t *testing.T) {
+	r := NewRNG(6)
+	hits := 0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	if got := float64(hits) / n; math.Abs(got-0.3) > 0.005 {
+		t.Fatalf("Bernoulli(0.3) frequency %v", got)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := NewRNG(7)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exponential(2)
+	}
+	if got := sum / n; math.Abs(got-0.5) > 0.01 {
+		t.Fatalf("Exponential(2) mean %v, want 0.5", got)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(8)
+	var sum, sumsq float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 || math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal mean=%v var=%v", mean, variance)
+	}
+}
+
+func TestMul64AgainstBig(t *testing.T) {
+	f := func(a, b uint64) bool {
+		hi, lo := mul64(a, b)
+		// Cross-check with math/bits-style split computation.
+		wantLo := a * b
+		// hi via 128-bit decomposition: (a*b) >> 64 computed through
+		// four 32-bit partial products.
+		aLo, aHi := a&0xffffffff, a>>32
+		bLo, bHi := b&0xffffffff, b>>32
+		t1 := aLo * bLo
+		t2 := aHi*bLo + t1>>32
+		t3 := aLo*bHi + t2&0xffffffff
+		wantHi := aHi*bHi + t2>>32 + t3>>32
+		return lo == wantLo && hi == wantHi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Mean != 3 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("Std = %v", s.Std)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10}
+	if q := Quantile(sorted, 0.25); math.Abs(q-2.5) > 1e-12 {
+		t.Fatalf("Quantile(0.25) = %v", q)
+	}
+	if q := Quantile(sorted, 0); q != 0 {
+		t.Fatalf("Quantile(0) = %v", q)
+	}
+	if q := Quantile(sorted, 1); q != 10 {
+		t.Fatalf("Quantile(1) = %v", q)
+	}
+}
+
+func TestMeanCIShrinks(t *testing.T) {
+	r := NewRNG(11)
+	small := make([]float64, 10)
+	large := make([]float64, 1000)
+	for i := range small {
+		small[i] = r.Float64()
+	}
+	for i := range large {
+		large[i] = r.Float64()
+	}
+	_, hwSmall := MeanCI(small)
+	_, hwLarge := MeanCI(large)
+	if hwLarge >= hwSmall {
+		t.Fatalf("CI half-width must shrink with n: %v vs %v", hwSmall, hwLarge)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Summarize must not sort its input")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("My Title", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta", 3.14159, 42)
+	tb.AddNote("footnote %d", 1)
+	out := tb.String()
+	for _, want := range []string{"My Title", "name", "alpha", "beta", "3.1416", "42", "note: footnote 1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns aligned: header and rows share prefix widths.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 6 {
+		t.Fatalf("unexpected table shape:\n%s", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1234567: "1.235e+06",
+		0.5:     "0.5000",
+		150.25:  "150.2",
+	}
+	for v, want := range cases {
+		if got := FormatFloat(v); got != want {
+			t.Fatalf("FormatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestMinMaxFloat(t *testing.T) {
+	xs := []float64{3, -1, 7}
+	if MaxFloat(xs) != 7 || MinFloat(xs) != -1 {
+		t.Fatal("min/max wrong")
+	}
+	if MaxFloat(nil) != 0 || MinFloat(nil) != 0 {
+		t.Fatal("empty min/max must be 0")
+	}
+}

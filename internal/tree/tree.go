@@ -1,0 +1,129 @@
+// Package tree implements the single-tree distribution baseline that §1.4
+// of the paper describes and criticizes: a multicast/reflector tree in which
+// every sink receives exactly one copy of its stream through exactly one
+// reflector. In the paper's 3-level model a tree is a design whose Serve
+// matrix has exactly one 1 per column, so a packet lost on a
+// source→reflector link is lost by *every* sink downstream of that
+// reflector, and a reflector failure blacks out its whole subtree — the two
+// failure modes §1.4 levels against tree-based multicast, which experiment
+// T13 quantifies against the paper's multi-path overlay.
+package tree
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/netmodel"
+)
+
+// Result is a tree design plus diagnostics.
+type Result struct {
+	Design *netmodel.Design
+	// Assigned counts sinks that received a parent (fanout permitting).
+	Assigned, Demanding int
+}
+
+// Build constructs a min-cost single-parent assignment: each demanding sink
+// is attached to the admissible reflector with the lowest marginal cost
+// (arc cost, plus ingest and build costs the first time a reflector/stream
+// is used), respecting fanout hard. Sinks are processed in order of how few
+// choices they have (most-constrained first), the classic matching
+// heuristic.
+func Build(in *netmodel.Instance) *Result {
+	_, R, D := in.Dims()
+	d := netmodel.NewDesign(in)
+	fanoutLeft := append([]float64(nil), in.Fanout...)
+	res := &Result{Design: d}
+
+	type sinkOrd struct {
+		j       int
+		choices int
+	}
+	var order []sinkOrd
+	for j := 0; j < D; j++ {
+		if in.Threshold[j] <= 0 {
+			continue
+		}
+		res.Demanding++
+		choices := 0
+		for i := 0; i < R; i++ {
+			if in.ArcAllowed(i, j) && in.CappedWeight(i, j) > 1e-12 {
+				choices++
+			}
+		}
+		order = append(order, sinkOrd{j, choices})
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].choices < order[b].choices })
+
+	for _, so := range order {
+		j := so.j
+		k := in.Commodity[j]
+		bw := in.StreamBandwidth(k)
+		bestI := -1
+		bestCost := math.Inf(1)
+		for i := 0; i < R; i++ {
+			if fanoutLeft[i] < bw || !in.ArcAllowed(i, j) {
+				continue
+			}
+			if in.CappedWeight(i, j) <= 1e-12 {
+				continue
+			}
+			cost := in.RefSinkCost[i][j]
+			if !d.Ingest[k][i] {
+				cost += in.SrcRefCost[k][i]
+			}
+			if !d.Build[i] {
+				cost += in.ReflectorCost[i]
+			}
+			if cost < bestCost {
+				bestCost, bestI = cost, i
+			}
+		}
+		if bestI < 0 {
+			continue
+		}
+		d.Serve[bestI][j] = true
+		d.Ingest[k][bestI] = true
+		d.Build[bestI] = true
+		fanoutLeft[bestI] -= bw
+		res.Assigned++
+	}
+	return res
+}
+
+// BlastRadius returns, per reflector, the number of sinks that lose ALL
+// service if that reflector dies — §1.4: "if a node or link in a multicast
+// tree fails, all of the leaves downstream of the failure lose access".
+// For a tree this is the subtree size; for a multi-path overlay it is the
+// count of sinks served only by that reflector.
+func BlastRadius(in *netmodel.Instance, d *netmodel.Design) []int {
+	_, R, D := in.Dims()
+	copies := make([]int, D)
+	for i := 0; i < R; i++ {
+		for j := 0; j < D; j++ {
+			if d.Serve[i][j] {
+				copies[j]++
+			}
+		}
+	}
+	out := make([]int, R)
+	for i := 0; i < R; i++ {
+		for j := 0; j < D; j++ {
+			if d.Serve[i][j] && copies[j] == 1 && in.Threshold[j] > 0 {
+				out[i]++
+			}
+		}
+	}
+	return out
+}
+
+// MaxBlastRadius returns the worst single-reflector blackout count.
+func MaxBlastRadius(in *netmodel.Instance, d *netmodel.Design) int {
+	worst := 0
+	for _, b := range BlastRadius(in, d) {
+		if b > worst {
+			worst = b
+		}
+	}
+	return worst
+}

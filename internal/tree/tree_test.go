@@ -1,0 +1,102 @@
+package tree
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/netmodel"
+)
+
+func TestBuildSingleParent(t *testing.T) {
+	in := gen.Uniform(gen.DefaultUniform(2, 6, 12), 3)
+	res := Build(in)
+	if res.Assigned != res.Demanding {
+		t.Fatalf("assigned %d/%d", res.Assigned, res.Demanding)
+	}
+	// Exactly one parent per demanding sink.
+	for j := 0; j < in.NumSinks; j++ {
+		parents := 0
+		for i := 0; i < in.NumReflectors; i++ {
+			if res.Design.Serve[i][j] {
+				parents++
+			}
+		}
+		want := 0
+		if in.Threshold[j] > 0 {
+			want = 1
+		}
+		if parents != want {
+			t.Fatalf("sink %d has %d parents, want %d", j, parents, want)
+		}
+	}
+	a := netmodel.AuditDesign(in, res.Design)
+	if !a.StructureOK {
+		t.Fatal("structure violated")
+	}
+	if a.FanoutFactor > 1+1e-9 {
+		t.Fatalf("tree must respect fanout hard: %v", a.FanoutFactor)
+	}
+}
+
+func TestTreeCheaperThanOverlay(t *testing.T) {
+	// A single copy per sink is (almost always) cheaper than the
+	// multi-copy overlay — the §1.4 bait that T13 weighs against its
+	// fragility.
+	in := gen.Uniform(gen.DefaultUniform(2, 8, 16), 5)
+	tr := Build(in)
+	ov, err := core.Solve(in, core.DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Design.Cost(in) >= ov.Audit.Cost {
+		t.Logf("tree %v vs overlay %v (unusual but possible)", tr.Design.Cost(in), ov.Audit.Cost)
+	}
+}
+
+func TestBlastRadiusTreeVsOverlay(t *testing.T) {
+	in := gen.Uniform(gen.DefaultUniform(1, 6, 12), 7)
+	tr := Build(in)
+	treeWorst := MaxBlastRadius(in, tr.Design)
+	if treeWorst == 0 {
+		t.Fatal("a tree must have a nonzero blast radius")
+	}
+	// Overlay with repair: most sinks have ≥2 copies, so the blast
+	// radius should be no worse (typically much better).
+	opts := core.DefaultOptions(3)
+	opts.RepairCoverage = true
+	ov, err := core.Solve(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ovWorst := MaxBlastRadius(in, ov.Design)
+	if ovWorst > treeWorst {
+		t.Fatalf("overlay blast radius %d worse than tree %d", ovWorst, treeWorst)
+	}
+}
+
+func TestBlastRadiusCountsOnlySoleParents(t *testing.T) {
+	in := gen.Uniform(gen.DefaultUniform(1, 3, 2), 1)
+	d := netmodel.NewDesign(in)
+	d.Serve[0][0] = true // sole parent of sink 0
+	d.Serve[0][1] = true // shares sink 1 with reflector 1
+	d.Serve[1][1] = true
+	d.Normalize(in)
+	br := BlastRadius(in, d)
+	if br[0] != 1 {
+		t.Fatalf("reflector 0 blast radius %d, want 1", br[0])
+	}
+	if br[1] != 0 {
+		t.Fatalf("reflector 1 blast radius %d, want 0", br[1])
+	}
+}
+
+func TestBuildRespectsFanoutScarcity(t *testing.T) {
+	// 1 reflector with fanout 1, 2 demanding sinks: only one assigned.
+	in := gen.Uniform(gen.DefaultUniform(1, 1, 2), 2)
+	in.Fanout[0] = 1
+	res := Build(in)
+	if res.Assigned != 1 {
+		t.Fatalf("assigned %d, want 1", res.Assigned)
+	}
+}

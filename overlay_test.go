@@ -1,0 +1,105 @@
+package overlay
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPublicAPIEndToEnd exercises the documented user journey: generate,
+// solve, audit, simulate, save/load.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	in := NewUniformInstance(DefaultUniformConfig(2, 6, 12), 5)
+	res, err := Solve(in, DefaultSolveOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Audit.WeightFactor < 0.25-1e-9 {
+		t.Fatalf("weight factor %v below guarantee", res.Audit.WeightFactor)
+	}
+	a := AuditDesign(in, res.Design)
+	if a.Cost != res.Audit.Cost {
+		t.Fatal("re-audit disagrees with solve audit")
+	}
+	sr := Simulate(in, res.Design, DefaultSimConfig(2))
+	if sr.DemandingSinks != in.NumSinks {
+		t.Fatalf("demanding sinks %d, want %d", sr.DemandingSinks, in.NumSinks)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "inst.json")
+	if err := SaveInstance(in, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadInstance(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumSinks != in.NumSinks {
+		t.Fatal("round trip lost sinks")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIRepair(t *testing.T) {
+	in := NewUniformInstance(DefaultUniformConfig(2, 8, 14), 9)
+	opts := DefaultSolveOptions(3)
+	opts.RepairCoverage = true
+	res, err := Solve(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repair should push most sinks to full demand.
+	if res.Audit.MetDemand < res.Audit.Sinks/2 {
+		t.Fatalf("repair left %d/%d sinks meeting Φ", res.Audit.MetDemand, res.Audit.Sinks)
+	}
+}
+
+func TestPublicAPIGreedyAndExact(t *testing.T) {
+	in := NewUniformInstance(DefaultUniformConfig(1, 4, 5), 2)
+	g, err := GreedyDesign(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc := g.Cost(in)
+	d, cost, optimal, err := ExactDesign(in, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil || !optimal {
+		t.Fatal("tiny instance must solve exactly")
+	}
+	if cost > gc+1e-9 {
+		t.Fatalf("exact cost %v above greedy %v", cost, gc)
+	}
+	removed := ImproveDesign(in, g, 1.0)
+	if g.Cost(in) > gc {
+		t.Fatalf("Improve raised cost (removed %d)", removed)
+	}
+}
+
+func TestPublicAPIClusteredColors(t *testing.T) {
+	in := NewClusteredInstance(DefaultClusteredConfig(2, 2, 2, 4), 3)
+	if in.NumColors != 2 {
+		t.Fatal("expected ISP colors")
+	}
+	res, err := Solve(in, DefaultSolveOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PathRounding {
+		t.Fatal("colored instances must use §6.5 path rounding")
+	}
+}
+
+func TestPublicAPIMacWorld(t *testing.T) {
+	in := NewMacWorldInstance(DefaultMacWorldConfig(), 1)
+	if in.NumSources != 1 {
+		t.Fatal("one keynote stream expected")
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
