@@ -13,6 +13,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/gapflow"
 	"repro/internal/gen"
+	"repro/internal/lp"
 	"repro/internal/lpmodel"
 	"repro/internal/round"
 	"repro/internal/sim"
@@ -63,6 +64,46 @@ func BenchmarkStageLPSolve(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := lpmodel.SolveLP(in, lpmodel.DefaultOptions(in)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStageLPSolveDense solves the same relaxation with the dense
+// tableau reference solver — the baseline the sparse revised simplex is
+// measured against (BENCH_*.json tracks the ratio across PRs).
+func BenchmarkStageLPSolveDense(b *testing.B) {
+	in := gen.Uniform(gen.DefaultUniform(2, 8, 20), 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, _ := lpmodel.Build(in, lpmodel.DefaultOptions(in))
+		if _, err := p.SolveOpts(lp.Options{Dense: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStageLPWarmResolve measures a warm-started re-solve of a
+// cost-churned instance — the §1.3 monitoring-loop workload.
+func BenchmarkStageLPWarmResolve(b *testing.B) {
+	in := gen.Uniform(gen.DefaultUniform(2, 8, 20), 3)
+	base, err := lpmodel.SolveLP(in, lpmodel.DefaultOptions(in))
+	if err != nil {
+		b.Fatal(err)
+	}
+	churned := in.Clone()
+	for i := 0; i < churned.NumReflectors; i++ {
+		for j := 0; j < churned.NumSinks; j++ {
+			if (i+j)%3 == 0 {
+				churned.RefSinkCost[i][j] *= 1.15
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := lpmodel.DefaultOptions(churned)
+		opts.WarmStart = base.Basis
+		if _, err := lpmodel.SolveLP(churned, opts); err != nil {
 			b.Fatal(err)
 		}
 	}

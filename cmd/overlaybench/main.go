@@ -1,5 +1,8 @@
 // Command overlaybench runs the experiment suite of EXPERIMENTS.md — every
 // table and figure validating the paper's claims — and prints the tables.
+// It can additionally profile the solve pipeline stage by stage and emit
+// the numbers as JSON, so successive PRs can track the performance
+// trajectory in BENCH_*.json files.
 //
 // Usage:
 //
@@ -7,22 +10,30 @@
 //	overlaybench -quick         # reduced sizes (seconds)
 //	overlaybench -only T2,T5    # subset by experiment ID
 //	overlaybench -trials 20     # more seeds per cell
+//	overlaybench -stages        # per-stage timing/allocation table
+//	overlaybench -json out.json # machine-readable stage timings
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/gen"
 )
 
 func main() {
 	var (
-		quick  = flag.Bool("quick", false, "reduced sizes/trials")
-		only   = flag.String("only", "", "comma-separated experiment IDs (default all)")
-		trials = flag.Int("trials", 0, "override trials per cell")
+		quick    = flag.Bool("quick", false, "reduced sizes/trials")
+		only     = flag.String("only", "", "comma-separated experiment IDs (default all)")
+		trials   = flag.Int("trials", 0, "override trials per cell")
+		stages   = flag.Bool("stages", false, "print per-stage pipeline instrumentation")
+		jsonPath = flag.String("json", "", "write per-stage timings as JSON to this file")
 	)
 	flag.Parse()
 
@@ -39,15 +50,97 @@ func main() {
 			want[strings.TrimSpace(strings.ToUpper(id))] = true
 		}
 	}
+	stagesOnly := (*stages || *jsonPath != "") && *only == ""
 	total := time.Now()
-	for _, e := range exp.All() {
-		if len(want) > 0 && !want[e.ID] {
-			continue
+	if !stagesOnly {
+		for _, e := range exp.All() {
+			if len(want) > 0 && !want[e.ID] {
+				continue
+			}
+			start := time.Now()
+			tb := e.Run(cfg)
+			fmt.Println(tb.String())
+			fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		}
-		start := time.Now()
-		tb := e.Run(cfg)
-		fmt.Println(tb.String())
-		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("suite finished in %v\n", time.Since(total).Round(time.Millisecond))
 	}
-	fmt.Printf("suite finished in %v\n", time.Since(total).Round(time.Millisecond))
+
+	if *stages || *jsonPath != "" {
+		if err := reportStages(*stages, *jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "overlaybench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// stageReport is the JSON schema of -json (one entry per pipeline stage of
+// a representative solve, plus headline solver counters).
+type stageReport struct {
+	Instance     string           `json:"instance"`
+	LPVars       int              `json:"lp_vars"`
+	LPRows       int              `json:"lp_rows"`
+	LPPivots     int              `json:"lp_pivots"`
+	TotalWallNS  int64            `json:"total_wall_ns"`
+	Stages       []stageReportRow `json:"stages"`
+	GeneratedRFC string           `json:"generated"`
+}
+
+type stageReportRow struct {
+	Name       string `json:"name"`
+	WallNS     int64  `json:"wall_ns"`
+	AllocBytes uint64 `json:"alloc_bytes"`
+	Allocs     uint64 `json:"allocs"`
+	Runs       int    `json:"runs"`
+}
+
+// reportStages solves the T7 benchmark instance (the scalability
+// acceptance workload) once and reports its per-stage instrumentation.
+func reportStages(print bool, jsonPath string) error {
+	const instance = "uniform-2x8x20-seed3"
+	in := gen.Uniform(gen.DefaultUniform(2, 8, 20), 3)
+	opts := core.DefaultOptions(1)
+	opts.StageMemStats = true
+	start := time.Now()
+	res, err := core.Solve(in, opts)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	if print {
+		fmt.Printf("pipeline stages (%s):\n", instance)
+		fmt.Printf("  %-12s %12s %12s %10s %6s\n", "stage", "wall", "alloc", "allocs", "runs")
+		for _, s := range res.Stages {
+			fmt.Printf("  %-12s %12s %12d %10d %6d\n",
+				s.Name, s.Wall.Round(time.Microsecond), s.AllocBytes, s.Allocs, s.Runs)
+		}
+		fmt.Printf("  %-12s %12s   (LP %d vars × %d rows, %d pivots)\n",
+			"total", wall.Round(time.Microsecond),
+			res.Timings.TotalVars, res.Timings.TotalRows, res.Timings.LPPivots)
+	}
+	if jsonPath != "" {
+		rep := stageReport{
+			Instance:     instance,
+			LPVars:       res.Timings.TotalVars,
+			LPRows:       res.Timings.TotalRows,
+			LPPivots:     res.Timings.LPPivots,
+			TotalWallNS:  wall.Nanoseconds(),
+			GeneratedRFC: time.Now().UTC().Format(time.RFC3339),
+		}
+		for _, s := range res.Stages {
+			rep.Stages = append(rep.Stages, stageReportRow{
+				Name: s.Name, WallNS: s.Wall.Nanoseconds(),
+				AllocBytes: s.AllocBytes, Allocs: s.Allocs, Runs: s.Runs,
+			})
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote stage timings to %s\n", jsonPath)
+	}
+	return nil
 }

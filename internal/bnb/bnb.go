@@ -23,6 +23,10 @@ type Options struct {
 	// Gap: prune nodes whose LP bound is within Gap of the incumbent
 	// (default 1e-6, i.e. prove optimality).
 	Gap float64
+	// ColdLP disables warm-starting child LPs from the parent basis
+	// (ablation/diagnostics; the warm dive is strictly an optimization,
+	// results are identical).
+	ColdLP bool
 }
 
 // Result reports the search outcome.
@@ -33,6 +37,9 @@ type Result struct {
 	// Cost is the exact IP optimum.
 	Optimal bool
 	Nodes   int
+	// LPIterations totals simplex pivots across all node LPs (the warm
+	// dive's effectiveness shows up here).
+	LPIterations int
 }
 
 const intTol = 1e-6
@@ -58,13 +65,25 @@ func Solve(in *netmodel.Instance, opts Options) (*Result, error) {
 	var bestX []float64
 	res := &Result{}
 
-	var dfs func() bool
-	dfs = func() bool {
+	// Each node's LP warm-starts from its parent's optimal basis: costs
+	// are unchanged down a dive and only one variable's bounds tighten,
+	// so the parent basis stays dual feasible and the dual simplex
+	// re-establishes primal feasibility in a few pivots instead of
+	// re-running both phases from scratch.
+	var dfs func(parentBasis *lp.Basis) bool
+	dfs = func(parentBasis *lp.Basis) bool {
 		if res.Nodes >= opts.NodeLimit {
 			return false
 		}
 		res.Nodes++
-		sol, err := prob.Solve()
+		var warm *lp.Basis
+		if !opts.ColdLP {
+			warm = parentBasis
+		}
+		sol, err := prob.SolveOpts(lp.Options{WarmStart: warm})
+		if sol != nil {
+			res.LPIterations += sol.Iterations
+		}
 		if err != nil || sol.Status == lp.Infeasible {
 			return true
 		}
@@ -103,7 +122,7 @@ func Solve(in *netmodel.Instance, opts Options) (*Result, error) {
 				continue
 			}
 			prob.SetBounds(branchVar, side, side)
-			if !dfs() {
+			if !dfs(sol.Basis) {
 				complete = false
 			}
 			prob.SetBounds(branchVar, origLo, origHi)
@@ -114,7 +133,7 @@ func Solve(in *netmodel.Instance, opts Options) (*Result, error) {
 		}
 		return complete
 	}
-	complete := dfs()
+	complete := dfs(nil)
 
 	if bestX == nil {
 		res.Optimal = false

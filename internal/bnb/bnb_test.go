@@ -121,3 +121,37 @@ func TestNodeLimitRespected(t *testing.T) {
 		t.Fatal("cannot claim optimality at the node limit")
 	}
 }
+
+// TestWarmDiveMatchesCold: warm-starting child LPs from the parent basis
+// must prove the same optimum as a cold-LP search. The search trees may
+// differ (degenerate LPs have multiple optimal vertices, so the
+// most-fractional branching variable can change), but the proven IP cost
+// cannot — and across instances the warm dives must spend fewer total
+// simplex pivots.
+func TestWarmDiveMatchesCold(t *testing.T) {
+	totalWarm, totalCold := 0, 0
+	for seed := uint64(1); seed <= 3; seed++ {
+		in := gen.Uniform(gen.DefaultUniform(1, 4, 6), seed)
+		warm, err := Solve(in, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := Solve(in, Options{ColdLP: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !warm.Optimal || !cold.Optimal {
+			t.Fatalf("seed %d: search incomplete: warm=%v cold=%v", seed, warm.Optimal, cold.Optimal)
+		}
+		if d := warm.Cost - cold.Cost; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("seed %d: warm cost %.9f != cold cost %.9f", seed, warm.Cost, cold.Cost)
+		}
+		totalWarm += warm.LPIterations
+		totalCold += cold.LPIterations
+		t.Logf("seed %d: pivots warm=%d cold=%d (nodes warm=%d cold=%d)",
+			seed, warm.LPIterations, cold.LPIterations, warm.Nodes, cold.Nodes)
+	}
+	if totalWarm >= totalCold {
+		t.Fatalf("warm dives used %d total pivots, cold %d", totalWarm, totalCold)
+	}
+}

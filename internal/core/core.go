@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/gapflow"
+	"repro/internal/lp"
 	"repro/internal/lpmodel"
 	"repro/internal/netmodel"
 	"repro/internal/round"
@@ -50,6 +51,15 @@ type Options struct {
 	// capacity admits (colors stay hard, fanout ≤ 4F). The paper's
 	// guarantee is W/4; operators want W — this is the bridge.
 	RepairCoverage bool
+	// WarmStart seeds the LP solve from a basis captured by a previous
+	// solve of a same-shaped instance (Result.WarmStartBasis), cutting
+	// simplex iterations when re-solving after churn. Invalid bases
+	// degrade to a cold solve.
+	WarmStart *lp.Basis
+	// StageMemStats additionally records per-stage allocation counters
+	// in Result.Stages. Off by default: the underlying
+	// runtime.ReadMemStats calls briefly stop the world.
+	StageMemStats bool
 }
 
 // DefaultOptions returns the paper's constants.
@@ -88,9 +98,97 @@ type Result struct {
 	GAPResult *gapflow.Result
 	Retries   int
 	Timings   Timings
+	// Stages is the per-stage instrumentation of the solve pipeline
+	// (wall time, allocation counters, run counts), aggregated by stage
+	// name across audit retries.
+	Stages []StageStats
 }
 
-// Solve runs the full algorithm.
+// WarmStartBasis returns the LP basis of this solve for seeding a future
+// re-solve (nil when unavailable).
+func (r *Result) WarmStartBasis() *lp.Basis {
+	if r == nil || r.Frac == nil {
+		return nil
+	}
+	return r.Frac.Basis
+}
+
+// lpStages is the head of the pipeline: model construction and the exact
+// simplex solve. It runs once per Solve.
+func lpStages() []Stage {
+	return []Stage{
+		{Name: "lp-build", Run: func(ps *pipelineState) error {
+			lpOpts := lpmodel.DefaultOptions(ps.in)
+			lpOpts.CuttingPlane = !ps.opts.DisableCuttingPlane
+			ps.prob, ps.vm = lpmodel.Build(ps.in, lpOpts)
+			return nil
+		}},
+		{Name: "lp-solve", Run: func(ps *pipelineState) error {
+			frac, err := lpmodel.SolveBuilt(ps.in, ps.prob, ps.vm, ps.opts.WarmStart)
+			if err != nil {
+				return err
+			}
+			ps.frac = frac
+			return nil
+		}},
+	}
+}
+
+// attemptStages is the randomized tail of the pipeline: §3 rounding, §5/
+// §6.5 integralization, the optional repair pass, and the guarantee audit.
+// Solve re-runs the whole tail on audit retries.
+func attemptStages() []Stage {
+	return []Stage{
+		{Name: "round", Run: func(ps *pipelineState) error {
+			rOpts := round.DefaultOptions(ps.seed)
+			rOpts.C = ps.opts.C
+			ps.rounded = round.Apply(ps.in, ps.frac, rOpts)
+			return nil
+		}},
+		{Name: "integralize", Run: func(ps *pipelineState) error {
+			design := netmodel.NewDesign(ps.in)
+			copyBools(design.Build, ps.rounded.ZBar)
+			for k := range ps.rounded.YBar {
+				copyBools(design.Ingest[k], ps.rounded.YBar[k])
+			}
+			ps.gapRes, ps.stRes = nil, nil
+			if ps.usePath {
+				stRes, err := stround.Round(ps.in, ps.rounded.XBar, stround.DefaultOptions(ps.seed^0xabcdef))
+				if err != nil {
+					return fmt.Errorf("path rounding: %w", err)
+				}
+				ps.stRes = stRes
+				for i := range stRes.Serve {
+					copyBools(design.Serve[i], stRes.Serve[i])
+				}
+			} else {
+				ps.gapRes = gapflow.Round(ps.in, ps.rounded.XBar)
+				for i := range ps.gapRes.Serve {
+					copyBools(design.Serve[i], ps.gapRes.Serve[i])
+				}
+			}
+			design.Normalize(ps.in)
+			ps.design = design
+			return nil
+		}},
+		{Name: "repair", Run: func(ps *pipelineState) error {
+			if ps.opts.RepairCoverage {
+				RepairCoverage(ps.in, ps.design, 4)
+			}
+			return nil
+		}},
+		{Name: "audit", Run: func(ps *pipelineState) error {
+			ps.audit = netmodel.AuditDesign(ps.in, ps.design)
+			return nil
+		}},
+	}
+}
+
+// Solve runs the full algorithm as a staged pipeline: lp-build → lp-solve
+// once, then round → integralize → repair → audit per attempt until the
+// audited design meets the paper's guarantee (or MaxRetries is exhausted,
+// returning the best attempt). Per-stage wall time and allocation counters
+// land in Result.Stages.
 func Solve(in *netmodel.Instance, opts Options) (*Result, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
@@ -102,95 +200,68 @@ func Solve(in *netmodel.Instance, opts Options) (*Result, error) {
 		opts.MaxRetries = 8
 	}
 
-	lpOpts := lpmodel.DefaultOptions(in)
-	lpOpts.CuttingPlane = !opts.DisableCuttingPlane
-
-	t0 := time.Now()
-	prob, _ := lpmodel.Build(in, lpOpts)
-	frac, err := lpmodel.SolveLP(in, lpOpts)
-	if err != nil {
+	ps := &pipelineState{in: in, opts: opts}
+	tracker := newStageTracker(opts.StageMemStats)
+	if err := tracker.runAll(lpStages(), ps); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	lpTime := time.Since(t0)
+	frac := ps.frac
 
 	res := &Result{
 		Frac:   frac,
 		LPCost: frac.Cost,
 		Timings: Timings{
-			LP:        lpTime,
+			LP:        tracker.wallOf("lp-build") + tracker.wallOf("lp-solve"),
 			LPPivots:  frac.Iterations,
-			TotalVars: prob.NumVars(),
-			TotalRows: prob.NumRows(),
+			TotalVars: ps.prob.NumVars(),
+			TotalRows: ps.prob.NumRows(),
 		},
+		Stages: tracker.stats,
 	}
 	if opts.LPOnly {
 		return res, nil
 	}
 
-	usePath := opts.ForcePathRounding || in.Color != nil || in.EdgeCap != nil
+	ps.usePath = opts.ForcePathRounding || in.Color != nil || in.EdgeCap != nil
+	tail := attemptStages()
 
 	var best *Result
 	for attempt := 0; attempt <= opts.MaxRetries; attempt++ {
-		seed := opts.Seed + uint64(attempt)*0x9e3779b97f4a7c15
+		ps.seed = opts.Seed + uint64(attempt)*0x9e3779b97f4a7c15
 
-		tR := time.Now()
-		rOpts := round.DefaultOptions(seed)
-		rOpts.C = opts.C
-		rounded := round.Apply(in, frac, rOpts)
-		roundTime := time.Since(tR)
+		roundW := tracker.wallOf("round")
+		integralW := tracker.wallOf("integralize") + tracker.wallOf("repair")
+		if err := tracker.runAll(tail, ps); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
 
-		tI := time.Now()
-		design := netmodel.NewDesign(in)
-		copyBools(design.Build, rounded.ZBar)
-		for k := range rounded.YBar {
-			copyBools(design.Ingest[k], rounded.YBar[k])
-		}
-		var gapRes *gapflow.Result
-		var stRes *stround.Result
-		if usePath {
-			stRes, err = stround.Round(in, rounded.XBar, stround.DefaultOptions(seed^0xabcdef))
-			if err != nil {
-				return nil, fmt.Errorf("core: path rounding: %w", err)
-			}
-			for i := range stRes.Serve {
-				copyBools(design.Serve[i], stRes.Serve[i])
-			}
-		} else {
-			gapRes = gapflow.Round(in, rounded.XBar)
-			for i := range gapRes.Serve {
-				copyBools(design.Serve[i], gapRes.Serve[i])
-			}
-		}
-		design.Normalize(in)
-		if opts.RepairCoverage {
-			RepairCoverage(in, design, 4)
-		}
-		integralTime := time.Since(tI)
-
-		audit := netmodel.AuditDesign(in, design)
 		cand := &Result{
-			Design:       design,
-			Audit:        audit,
+			Design:       ps.design,
+			Audit:        ps.audit,
 			Frac:         frac,
 			LPCost:       frac.Cost,
-			RoundedCost:  rounded.Cost,
-			RoundInst:    rounded.Instrument(in, frac.Cost),
-			PathRounding: usePath,
-			STResult:     stRes,
-			GAPResult:    gapRes,
+			RoundedCost:  ps.rounded.Cost,
+			RoundInst:    ps.rounded.Instrument(in, frac.Cost),
+			PathRounding: ps.usePath,
+			STResult:     ps.stRes,
+			GAPResult:    ps.gapRes,
 			Retries:      attempt,
 			Timings:      res.Timings,
+			Stages:       tracker.stats,
 		}
-		cand.Timings.Rounding = roundTime
-		cand.Timings.Integral = integralTime
+		// Timings keeps its historical per-attempt semantics; Stages
+		// aggregates across attempts.
+		cand.Timings.Rounding = tracker.wallOf("round") - roundW
+		cand.Timings.Integral = tracker.wallOf("integralize") + tracker.wallOf("repair") - integralW
 
 		if best == nil || betterResult(cand, best) {
 			best = cand
 		}
-		if meetsGuarantee(audit, usePath) {
+		if meetsGuarantee(ps.audit, ps.usePath) {
 			return cand, nil
 		}
 	}
+	best.Stages = tracker.stats
 	return best, nil
 }
 

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/gapflow"
+	"repro/internal/lp"
+	"repro/internal/lpmodel"
+	"repro/internal/netmodel"
+	"repro/internal/round"
+	"repro/internal/stround"
+)
+
+// A Stage is one named step of the solve pipeline. Stages are the unit of
+// instrumentation: every stage execution is timed and its allocations
+// counted, and repeated executions of the same stage (the randomized tail
+// of the pipeline re-runs on audit retries) aggregate under one name.
+// Future pipeline steps — new rounders, repair passes — plug in here
+// instead of adding ad-hoc timing code.
+type Stage struct {
+	Name string
+	Run  func(*pipelineState) error
+}
+
+// StageStats is the aggregated instrumentation of one named stage.
+type StageStats struct {
+	Name string
+	// Wall is the total wall-clock time across all runs of the stage.
+	Wall time.Duration
+	// AllocBytes and Allocs count heap allocation across all runs,
+	// gathered from runtime.MemStats deltas when Options.StageMemStats
+	// is set (approximate under concurrent allocation, exact in the
+	// common single-solve case); zero otherwise.
+	AllocBytes uint64
+	Allocs     uint64
+	// Runs counts how many times the stage executed (tail stages run once
+	// per audit retry).
+	Runs int
+}
+
+// pipelineState is the blackboard the stages read and write. It carries
+// the instance and options in, and accumulates every intermediate product
+// of the §2–§6.5 algorithm until the Result can be assembled.
+type pipelineState struct {
+	in   *netmodel.Instance
+	opts Options
+
+	prob *lp.Problem
+	vm   *lpmodel.VarMap
+	frac *lpmodel.FracSolution
+
+	// per-attempt products
+	seed    uint64
+	rounded *round.Rounded
+	design  *netmodel.Design
+	gapRes  *gapflow.Result
+	stRes   *stround.Result
+	usePath bool
+	audit   netmodel.Audit
+}
+
+// stageTracker aggregates StageStats by name, preserving first-run order.
+// Allocation accounting is opt-in (Options.StageMemStats): wall timing is
+// nearly free, but runtime.ReadMemStats briefly stops the world, which a
+// high-frequency re-solve loop should not pay for counters nobody reads.
+type stageTracker struct {
+	stats []StageStats
+	index map[string]int
+	mem   bool
+}
+
+func newStageTracker(mem bool) *stageTracker {
+	return &stageTracker{index: make(map[string]int), mem: mem}
+}
+
+// run executes one stage, accounting wall time and (optionally)
+// allocations.
+func (t *stageTracker) run(st Stage, ps *pipelineState) error {
+	var before, after runtime.MemStats
+	if t.mem {
+		runtime.ReadMemStats(&before)
+	}
+	start := time.Now()
+	err := st.Run(ps)
+	wall := time.Since(start)
+	if t.mem {
+		runtime.ReadMemStats(&after)
+	}
+
+	i, ok := t.index[st.Name]
+	if !ok {
+		i = len(t.stats)
+		t.index[st.Name] = i
+		t.stats = append(t.stats, StageStats{Name: st.Name})
+	}
+	s := &t.stats[i]
+	s.Wall += wall
+	if t.mem {
+		s.AllocBytes += after.TotalAlloc - before.TotalAlloc
+		s.Allocs += after.Mallocs - before.Mallocs
+	}
+	s.Runs++
+	return err
+}
+
+// runAll executes a stage sequence in order, stopping at the first error.
+func (t *stageTracker) runAll(stages []Stage, ps *pipelineState) error {
+	for _, st := range stages {
+		if err := t.run(st, ps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// wallOf returns the accumulated wall time of a named stage (0 if it never
+// ran).
+func (t *stageTracker) wallOf(name string) time.Duration {
+	if i, ok := t.index[name]; ok {
+		return t.stats[i].Wall
+	}
+	return 0
+}

@@ -21,6 +21,12 @@ type ReoptimizeResult struct {
 // they are unless the network has genuinely shifted. stickiness = 0
 // reproduces a cold solve; values around 0.3–0.5 are typical.
 //
+// Because only costs change between the deployed solve and the re-solve,
+// the prior solve's simplex basis stays primal feasible for the new LP:
+// set opts.WarmStart to the prior Result's WarmStartBasis() and the solver
+// skips phase 1 entirely, restarting phase 2 from the near-optimal basis
+// instead of from scratch. Churn re-solves then cost a handful of pivots.
+//
 // The returned audit and cost are evaluated against the TRUE (undiscounted)
 // instance — the bias only steers the optimization.
 func Reoptimize(in *netmodel.Instance, prior *netmodel.Design, stickiness float64, opts Options) (*ReoptimizeResult, error) {

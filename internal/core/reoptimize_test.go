@@ -88,3 +88,46 @@ func TestReoptimizeInvalidStickinessIgnored(t *testing.T) {
 		t.Fatalf("out-of-range stickiness must degrade to 0, got error %v", err)
 	}
 }
+
+func TestReoptimizeWarmStartFewerIterations(t *testing.T) {
+	in := gen.Uniform(gen.DefaultUniform(2, 8, 16), 21)
+	opts := DefaultOptions(5)
+	base, err := Solve(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.WarmStartBasis() == nil {
+		t.Fatal("solve returned no warm-start basis")
+	}
+	// Churn: jitter a third of the arc costs.
+	perturbed := in.Clone()
+	n := 0
+	for i := 0; i < perturbed.NumReflectors; i++ {
+		for j := 0; j < perturbed.NumSinks; j++ {
+			n++
+			if n%3 == 0 {
+				perturbed.RefSinkCost[i][j] *= 1.15
+			}
+		}
+	}
+	cold, err := Reoptimize(perturbed, base.Design, 0.5, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wopts := opts
+	wopts.WarmStart = base.WarmStartBasis()
+	warm, err := Reoptimize(perturbed, base.Design, 0.5, wopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same biased LP, so the optima must agree; the warm re-solve must
+	// spend strictly fewer simplex iterations than the cold one.
+	if diff := warm.LPCost - cold.LPCost; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("warm LP cost %.9f != cold %.9f", warm.LPCost, cold.LPCost)
+	}
+	if warm.Frac.Iterations >= cold.Frac.Iterations {
+		t.Fatalf("warm start did not reduce iterations: warm=%d cold=%d",
+			warm.Frac.Iterations, cold.Frac.Iterations)
+	}
+	t.Logf("churn re-solve pivots: warm=%d cold=%d", warm.Frac.Iterations, cold.Frac.Iterations)
+}

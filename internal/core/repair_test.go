@@ -138,3 +138,39 @@ func TestTimingsPopulated(t *testing.T) {
 		t.Fatalf("timings missing: %+v", res.Timings)
 	}
 }
+
+func TestStagesPopulated(t *testing.T) {
+	in := gen.Uniform(gen.DefaultUniform(2, 6, 12), 3)
+	opts := DefaultOptions(1)
+	opts.RepairCoverage = true
+	opts.StageMemStats = true
+	res, err := Solve(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"lp-build", "lp-solve", "round", "integralize", "repair", "audit"}
+	got := map[string]StageStats{}
+	for _, s := range res.Stages {
+		got[s.Name] = s
+	}
+	for _, name := range want {
+		s, ok := got[name]
+		if !ok {
+			t.Fatalf("stage %q missing from Result.Stages (have %v)", name, res.Stages)
+		}
+		if s.Runs < 1 {
+			t.Fatalf("stage %q never ran", name)
+		}
+	}
+	if got["lp-solve"].Wall <= 0 {
+		t.Fatal("lp-solve stage has zero wall time")
+	}
+	// The tail stages run once per attempt.
+	if got["round"].Runs != res.Retries+1 {
+		t.Fatalf("round ran %d times, want %d", got["round"].Runs, res.Retries+1)
+	}
+	// Timings stays consistent with the stage view.
+	if res.Timings.LP != got["lp-build"].Wall+got["lp-solve"].Wall {
+		t.Fatal("Timings.LP disagrees with stage walls")
+	}
+}

@@ -1,27 +1,56 @@
-// Package lp implements a dense, two-phase, bounded-variable primal simplex
-// solver for linear programs
+// Package lp solves linear programs
 //
 //	minimize    c·x
 //	subject to  row_i · x  {≤,=,≥}  b_i
 //	            lo_j ≤ x_j ≤ hi_j
 //
-// It is exact (up to floating-point tolerances), handles variable upper
-// bounds natively (no explicit bound rows, which keeps the paper's LP at
-// O(|R|·|D|) rows instead of doubling), uses Dantzig pricing with a Bland
-// anti-cycling fallback, and parallelizes tableau elimination across
-// goroutines for large instances.
+// with a sparse, column-oriented, bounded-variable revised simplex. The
+// overlay-design LPs this repository builds are overwhelmingly sparse —
+// each x_{ij} variable touches a handful of rows — so the solver stores the
+// constraint matrix once in compressed-sparse-column (CSC) form and never
+// materializes a dense tableau.
 //
-// The solver is deliberately dense: the overlay-design LPs this repository
-// solves exactly are small enough (thousands of rows) that a dense tableau
-// with parallel pivots is simpler and more robust than sparse LU machinery.
+// # Design
+//
+//   - Storage: structural columns live in a CSC matrix cached on the
+//     Problem (rebuilt only when constraints are added, so branch-and-bound
+//     re-solves after bound changes reuse it). Every row additionally gets
+//     one logical slack column and one artificial column, both singletons
+//     (±e_r), which are represented implicitly.
+//   - Basis: the basis inverse is kept as a product-form eta file. FTRAN
+//     applies the etas oldest-first to a column, BTRAN newest-first to a
+//     row vector. The file is rebuilt from scratch (Gauss–Jordan with
+//     partial pivoting over the current basis columns) every RefactorEvery
+//     pivots — the refactorization cadence bounds both eta-file growth and
+//     accumulated floating-point drift.
+//   - Pricing: Dantzig pricing over the sparse columns (reduced costs from
+//     one BTRAN per iteration), with an optional rotating partial-pricing
+//     mode for very wide problems and a Bland fallback for anti-cycling.
+//   - Phases: a cold solve runs the classic two phases — artificials are
+//     priced out first, then the true objective — while a warm solve skips
+//     phase 1 entirely when the supplied basis is already primal feasible
+//     (costs changed, e.g. churn re-optimization) and runs the dual simplex
+//     when it is primal infeasible but dual feasible (bounds changed, e.g.
+//     branch-and-bound children).
+//
+// # Warm starts
+//
+// Solution.Basis snapshots the final basis as per-column statuses; passing
+// it back through Options.WarmStart re-solves a same-shaped problem
+// (identical variable and row counts — costs and bounds may differ) from
+// that basis instead of from scratch. Invalid or unusable warm bases are
+// detected and silently degrade to a cold solve, so warm starting is always
+// safe to attempt.
+//
+// The previous dense two-phase tableau solver is retained behind
+// Options.Dense as a golden reference: tests cross-check every sparse
+// optimum against it.
 package lp
 
 import (
 	"errors"
 	"fmt"
 	"math"
-
-	"repro/internal/par"
 )
 
 // Rel is a constraint relation.
@@ -66,6 +95,12 @@ type Problem struct {
 	lo   []float64
 	hi   []float64
 	rows []row
+
+	// csc caches the structural columns in compressed-sparse-column form.
+	// It depends only on the rows (not bounds or costs), so bound-mutating
+	// re-solves — branch-and-bound dives — rebuild nothing. AddConstraint
+	// invalidates it.
+	csc *cscMatrix
 }
 
 // NewProblem returns a problem with numVars structural variables, objective
@@ -101,7 +136,7 @@ func (p *Problem) AddObjectiveCoef(j int, v float64) {
 
 // SetBounds sets lo ≤ x_j ≤ hi. Lower bounds must be finite (the overlay
 // LPs never need -Inf lower bounds; supporting them would complicate the
-// variable shift for no benefit).
+// nonbasic-at-bound bookkeeping for no benefit).
 func (p *Problem) SetBounds(j int, lo, hi float64) {
 	p.lo[j] = lo
 	p.hi[j] = hi
@@ -119,6 +154,7 @@ func (p *Problem) AddConstraint(rel Rel, rhs float64, coefs ...Coef) int {
 	cp := make([]Coef, len(coefs))
 	copy(cp, coefs)
 	p.rows = append(p.rows, row{coefs: cp, rel: rel, rhs: rhs})
+	p.csc = nil
 	return len(p.rows) - 1
 }
 
@@ -147,23 +183,93 @@ func (s Status) String() string {
 	return "unknown"
 }
 
+// Basis is a compact snapshot of a simplex basis: the status (at lower
+// bound, at upper bound, or basic) of every column — structural, slack, and
+// artificial. It is the warm-start currency: Solution carries the final
+// basis out of a solve, and Options.WarmStart feeds it back into a later
+// solve of a same-shaped problem (same variable and row counts; costs and
+// bounds are free to change). Statuses are interpreted against the bounds
+// current at re-solve time, so a basis stays valid across branch-and-bound
+// bound fixings and re-optimization cost scalings alike.
+type Basis struct {
+	// NumVars and NumRows identify the problem shape the basis belongs to.
+	NumVars, NumRows int
+	// ColStat holds one vstat per column: structural columns first, then
+	// one slack per row, then one artificial per row.
+	ColStat []int8
+}
+
+// Column status values in Basis.ColStat.
+const (
+	BasisAtLower int8 = iota
+	BasisAtUpper
+	BasisBasic
+)
+
+// compatible reports whether b can warm-start problem p.
+func (b *Basis) compatible(p *Problem) bool {
+	if b == nil || b.NumVars != p.n || b.NumRows != len(p.rows) {
+		return false
+	}
+	if len(b.ColStat) != p.n+2*len(p.rows) {
+		return false
+	}
+	basic := 0
+	for _, st := range b.ColStat {
+		if st == BasisBasic {
+			basic++
+		}
+	}
+	return basic == len(p.rows)
+}
+
 // Solution is the result of Solve.
 type Solution struct {
 	Status     Status
 	X          []float64 // structural variable values
 	Objective  float64
 	Iterations int
+	// Basis is the final simplex basis (sparse solver only; nil from the
+	// dense reference solver). Feed it to Options.WarmStart to accelerate
+	// a re-solve of a same-shaped problem.
+	Basis *Basis
 }
+
+// Pricing selects the entering-variable rule of the sparse solver.
+type Pricing int
+
+const (
+	// DantzigPricing scans every nonbasic column and enters the one with
+	// the most negative reduced cost (default; deterministic).
+	DantzigPricing Pricing = iota
+	// PartialPricing scans rotating blocks of columns and enters the best
+	// candidate of the first block containing one, trading iteration count
+	// for much cheaper pricing on very wide problems.
+	PartialPricing
+)
 
 // Options tunes the solver. The zero value selects sensible defaults.
 type Options struct {
-	// MaxIters bounds total pivots across both phases (default
+	// MaxIters bounds total pivots across all phases (default
 	// 200*(rows+vars)+2000).
 	MaxIters int
-	// Parallel enables goroutine-parallel tableau elimination for large
-	// tableaus (default on; set to false in tests that measure serial
-	// behaviour).
+	// SerialOnly disables goroutine-parallel tableau elimination in the
+	// dense reference solver (no effect on the sparse solver).
 	SerialOnly bool
+	// Dense selects the dense two-phase tableau reference solver instead
+	// of the sparse revised simplex.
+	Dense bool
+	// WarmStart, when non-nil and shape-compatible with the problem,
+	// starts the sparse solver from this basis: primal phase 2 directly if
+	// the basis is primal feasible, dual simplex if it is only dual
+	// feasible, cold start otherwise.
+	WarmStart *Basis
+	// RefactorEvery rebuilds the product-form basis inverse after this
+	// many pivots (default 64 + rows/8). Lower values trade time for
+	// numerical robustness.
+	RefactorEvery int
+	// Pricing selects the entering rule (default DantzigPricing).
+	Pricing Pricing
 }
 
 // numerical tolerances
@@ -183,8 +289,8 @@ const (
 	basic
 )
 
-// Solve runs the two-phase bounded-variable simplex and returns the optimal
-// solution, or a Solution with a non-Optimal status.
+// Solve runs the simplex and returns the optimal solution, or a Solution
+// with a non-Optimal status.
 func (p *Problem) Solve() (*Solution, error) {
 	return p.SolveOpts(Options{})
 }
@@ -199,444 +305,30 @@ func (p *Problem) SolveOpts(opts Options) (*Solution, error) {
 			return nil, fmt.Errorf("lp: variable %d has empty bound range [%g,%g]", j, p.lo[j], p.hi[j])
 		}
 	}
-	s := newSimplex(p, opts)
+	if opts.Dense {
+		return p.solveDense(opts)
+	}
+	return p.solveSparse(opts)
+}
+
+func (p *Problem) solveDense(opts Options) (*Solution, error) {
+	s := newDenseSimplex(p, opts)
 	st := s.run()
 	sol := &Solution{Status: st, Iterations: s.iters}
 	if st == Optimal || st == IterLimit {
 		sol.X = s.extract()
-		obj := 0.0
-		for j := 0; j < p.n; j++ {
-			obj += p.obj[j] * sol.X[j]
-		}
-		sol.Objective = obj
+		sol.Objective = p.objectiveOf(sol.X)
 	}
 	return sol, nil
 }
 
-// simplex is the working state: a dense tableau over columns
-// [structural | slack | artificial], all shifted so lower bounds are 0.
-type simplex struct {
-	p    *Problem
-	opts Options
-
-	m, n     int // rows, total columns
-	nStruct  int
-	nSlack   int
-	tab      [][]float64 // m × n tableau, kept equal to B^{-1}A
-	beta     []float64   // current basic values (shifted space)
-	basis    []int       // basis[r] = column basic in row r
-	stat     []vstat
-	lo, hi   []float64 // shifted bounds: lo=0 for all, hi possibly +Inf
-	shift    []float64 // original lower bounds of structural vars
-	zrow     []float64 // reduced costs for current phase
-	cost     []float64 // phase-2 costs per column
-	artFirst int       // first artificial column
-	iters    int
-	maxIters int
-	bland    bool
-	parallel bool
-}
-
-func newSimplex(p *Problem, opts Options) *simplex {
-	m := len(p.rows)
-	s := &simplex{p: p, opts: opts, m: m, nStruct: p.n}
-	s.nSlack = 0
-	for _, r := range p.rows {
-		if r.rel != EQ {
-			s.nSlack++
-		}
-	}
-	// Worst case one artificial per row.
-	maxCols := p.n + s.nSlack + m
-	s.tab = make([][]float64, m)
-	backing := make([]float64, m*maxCols)
-	for r := range s.tab {
-		s.tab[r], backing = backing[:maxCols:maxCols], backing[maxCols:]
-	}
-	s.beta = make([]float64, m)
-	s.basis = make([]int, m)
-	s.lo = make([]float64, maxCols)
-	s.hi = make([]float64, maxCols)
-	s.stat = make([]vstat, maxCols)
-	s.cost = make([]float64, maxCols)
-	s.zrow = make([]float64, maxCols)
-	s.shift = make([]float64, p.n)
-
-	// Structural columns, shifted to lower bound 0.
+// objectiveOf evaluates c·x.
+func (p *Problem) objectiveOf(x []float64) float64 {
+	obj := 0.0
 	for j := 0; j < p.n; j++ {
-		s.shift[j] = p.lo[j]
-		s.lo[j] = 0
-		if math.IsInf(p.hi[j], 1) {
-			s.hi[j] = math.Inf(1)
-		} else {
-			s.hi[j] = p.hi[j] - p.lo[j]
-		}
-		s.cost[j] = p.obj[j]
-		s.stat[j] = atLower
+		obj += p.obj[j] * x[j]
 	}
-
-	// Fill rows: structural coefficients and shifted rhs.
-	rhs := make([]float64, m)
-	for r, rw := range p.rows {
-		b := rw.rhs
-		for _, c := range rw.coefs {
-			s.tab[r][c.Var] += c.Val
-			b -= c.Val * s.shift[c.Var]
-		}
-		rhs[r] = b
-	}
-
-	// Slack columns and initial basis; artificials where needed.
-	col := p.n
-	s.artFirst = p.n + s.nSlack
-	artCol := s.artFirst
-	for r, rw := range p.rows {
-		switch rw.rel {
-		case LE:
-			s.tab[r][col] = 1
-			s.hi[col] = math.Inf(1)
-			if rhs[r] >= 0 {
-				s.setBasic(r, col, rhs[r])
-			} else {
-				s.stat[col] = atLower
-				s.tab[r][artCol] = -1
-				s.hi[artCol] = math.Inf(1)
-				s.setBasic(r, artCol, -rhs[r])
-				artCol++
-			}
-			col++
-		case GE:
-			s.tab[r][col] = -1
-			s.hi[col] = math.Inf(1)
-			if rhs[r] <= 0 {
-				s.setBasic(r, col, -rhs[r])
-			} else {
-				s.stat[col] = atLower
-				s.tab[r][artCol] = 1
-				s.hi[artCol] = math.Inf(1)
-				s.setBasic(r, artCol, rhs[r])
-				artCol++
-			}
-			col++
-		case EQ:
-			if rhs[r] >= 0 {
-				s.tab[r][artCol] = 1
-				s.setBasic(r, artCol, rhs[r])
-			} else {
-				s.tab[r][artCol] = -1
-				s.setBasic(r, artCol, -rhs[r])
-			}
-			s.hi[artCol] = math.Inf(1)
-			artCol++
-		}
-	}
-	s.n = artCol
-	// Truncate tableau rows to the actual column count.
-	for r := range s.tab {
-		s.tab[r] = s.tab[r][:s.n]
-	}
-	// The initial basis must appear as an identity in the tableau. GE
-	// slacks and negative-rhs artificials enter with coefficient -1, so
-	// negate those rows (the basic variable's *value* beta is unaffected:
-	// it is a value, not a transformed rhs).
-	for r := 0; r < s.m; r++ {
-		if s.tab[r][s.basis[r]] == -1 {
-			trow := s.tab[r]
-			for j := range trow {
-				trow[j] = -trow[j]
-			}
-		}
-	}
-	s.lo = s.lo[:s.n]
-	s.hi = s.hi[:s.n]
-	s.stat = s.stat[:s.n]
-	s.cost = s.cost[:s.n]
-	s.zrow = s.zrow[:s.n]
-
-	s.maxIters = opts.MaxIters
-	if s.maxIters <= 0 {
-		s.maxIters = 200*(m+s.n) + 2000
-	}
-	s.parallel = !opts.SerialOnly && m*s.n >= 1<<18
-	return s
-}
-
-func (s *simplex) setBasic(r, col int, val float64) {
-	s.basis[r] = col
-	s.stat[col] = basic
-	s.beta[r] = val
-}
-
-// run executes phase 1 (if artificials exist) and phase 2.
-func (s *simplex) run() Status {
-	hasArt := s.n > s.artFirst
-	if hasArt {
-		// Phase-1 objective: minimize sum of artificials.
-		phase1 := make([]float64, s.n)
-		for j := s.artFirst; j < s.n; j++ {
-			phase1[j] = 1
-		}
-		s.installObjective(phase1)
-		st := s.iterate()
-		if st != Optimal {
-			if st == Unbounded {
-				// Phase-1 objective is bounded below by 0; an
-				// unbounded report means numerical trouble.
-				return Infeasible
-			}
-			return st
-		}
-		if s.phaseObjective(phase1) > tolArt {
-			return Infeasible
-		}
-		// Freeze artificials at zero.
-		for j := s.artFirst; j < s.n; j++ {
-			s.hi[j] = 0
-			if s.stat[j] == atUpper {
-				s.stat[j] = atLower
-			}
-		}
-	}
-	s.installObjective(s.cost)
-	return s.iterate()
-}
-
-// phaseObjective computes c·x for the given per-column costs at the current
-// point (in shifted space).
-func (s *simplex) phaseObjective(c []float64) float64 {
-	v := 0.0
-	for j := 0; j < s.n; j++ {
-		switch s.stat[j] {
-		case atLower:
-			v += c[j] * s.lo[j]
-		case atUpper:
-			v += c[j] * s.hi[j]
-		}
-	}
-	for r := 0; r < s.m; r++ {
-		v += c[s.basis[r]] * s.beta[r]
-	}
-	return v
-}
-
-// installObjective recomputes the reduced-cost row for costs c:
-// zrow_j = c_j − c_B · tab_j.
-func (s *simplex) installObjective(c []float64) {
-	copy(s.zrow, c)
-	for r := 0; r < s.m; r++ {
-		cb := c[s.basis[r]]
-		if cb == 0 {
-			continue
-		}
-		trow := s.tab[r]
-		for j := 0; j < s.n; j++ {
-			s.zrow[j] -= cb * trow[j]
-		}
-	}
-	// Basic columns have zero reduced cost by construction; clamp
-	// accumulated error.
-	for r := 0; r < s.m; r++ {
-		s.zrow[s.basis[r]] = 0
-	}
-}
-
-// iterate runs simplex pivots until optimal/unbounded/limit.
-func (s *simplex) iterate() Status {
-	blandAfter := 20*(s.m+s.n) + 1000
-	start := s.iters
-	for {
-		if s.iters-start > blandAfter {
-			s.bland = true
-		}
-		if s.iters >= s.maxIters {
-			return IterLimit
-		}
-		j, dir := s.chooseEntering()
-		if j < 0 {
-			return Optimal
-		}
-		st := s.ratioTestAndPivot(j, dir)
-		if st != 0 {
-			return st
-		}
-		s.iters++
-	}
-}
-
-// chooseEntering returns the entering column and direction (+1 when the
-// variable increases from its lower bound, -1 when it decreases from its
-// upper bound), or (-1, 0) at optimality.
-func (s *simplex) chooseEntering() (int, float64) {
-	bestJ, bestDir, bestScore := -1, 0.0, tolCost
-	for j := 0; j < s.n; j++ {
-		switch s.stat[j] {
-		case basic:
-			continue
-		case atLower:
-			if d := -s.zrow[j]; d > bestScore {
-				if s.bland {
-					return j, 1
-				}
-				bestJ, bestDir, bestScore = j, 1, d
-			}
-		case atUpper:
-			if d := s.zrow[j]; d > bestScore {
-				if s.bland {
-					return j, -1
-				}
-				bestJ, bestDir, bestScore = j, -1, d
-			}
-		}
-	}
-	return bestJ, bestDir
-}
-
-// ratioTestAndPivot moves entering column j in direction dir, performing a
-// bound flip or a basis change. Returns a terminal status or 0 to continue.
-func (s *simplex) ratioTestAndPivot(j int, dir float64) Status {
-	// Maximum step before j hits its own opposite bound.
-	tMax := s.hi[j] - s.lo[j] // may be +Inf
-	leaveRow := -1
-	leaveToUpper := false
-	bestPivot := 0.0
-	t := tMax
-	for r := 0; r < s.m; r++ {
-		a := s.tab[r][j] * dir
-		if a > tolPivot {
-			// Basic variable decreases toward its lower bound.
-			lim := (s.beta[r] - s.lo[s.basis[r]]) / a
-			if lim < t-1e-12 || (lim < t+1e-12 && math.Abs(s.tab[r][j]) > math.Abs(bestPivot)) {
-				if lim < 0 {
-					lim = 0
-				}
-				t = lim
-				leaveRow = r
-				leaveToUpper = false
-				bestPivot = s.tab[r][j]
-			}
-		} else if a < -tolPivot {
-			// Basic variable increases toward its upper bound.
-			ub := s.hi[s.basis[r]]
-			if math.IsInf(ub, 1) {
-				continue
-			}
-			lim := (ub - s.beta[r]) / (-a)
-			if lim < t-1e-12 || (lim < t+1e-12 && math.Abs(s.tab[r][j]) > math.Abs(bestPivot)) {
-				if lim < 0 {
-					lim = 0
-				}
-				t = lim
-				leaveRow = r
-				leaveToUpper = true
-				bestPivot = s.tab[r][j]
-			}
-		}
-	}
-	if math.IsInf(t, 1) {
-		return Unbounded
-	}
-	// Apply the step to basic values.
-	if t != 0 {
-		step := t * dir
-		for r := 0; r < s.m; r++ {
-			s.beta[r] -= s.tab[r][j] * step
-		}
-	}
-	if leaveRow < 0 {
-		// Bound flip: j traverses to its opposite bound.
-		if dir > 0 {
-			s.stat[j] = atUpper
-		} else {
-			s.stat[j] = atLower
-		}
-		return 0
-	}
-	// Basis change: j enters at value (bound + t·dir), basis[leaveRow]
-	// leaves to one of its bounds.
-	leaving := s.basis[leaveRow]
-	if leaveToUpper {
-		s.stat[leaving] = atUpper
-	} else {
-		s.stat[leaving] = atLower
-	}
-	var enterVal float64
-	if dir > 0 {
-		enterVal = s.lo[j] + t
-	} else {
-		enterVal = s.hi[j] - t
-	}
-	s.basis[leaveRow] = j
-	s.stat[j] = basic
-	s.beta[leaveRow] = enterVal
-	s.eliminate(leaveRow, j)
-	return 0
-}
-
-// eliminate performs the Gauss–Jordan pivot on (prow, pcol), updating the
-// tableau and the reduced-cost row. Basic values are NOT touched: a basis
-// swap does not move the current point (the step was already applied by the
-// ratio test). Row elimination is parallelized for large tableaus.
-func (s *simplex) eliminate(prow, pcol int) {
-	piv := s.tab[prow][pcol]
-	prowData := s.tab[prow]
-	if piv != 1 {
-		inv := 1 / piv
-		for j := range prowData {
-			prowData[j] *= inv
-		}
-		prowData[pcol] = 1 // exact
-	}
-	elimRange := func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			if r == prow {
-				continue
-			}
-			f := s.tab[r][pcol]
-			if f == 0 {
-				continue
-			}
-			trow := s.tab[r]
-			for j := range trow {
-				trow[j] -= f * prowData[j]
-			}
-			trow[pcol] = 0 // exact
-		}
-	}
-	if s.parallel {
-		par.Chunks(s.m, 0, elimRange)
-	} else {
-		elimRange(0, s.m)
-	}
-	if f := s.zrow[pcol]; f != 0 {
-		for j := range s.zrow {
-			s.zrow[j] -= f * prowData[j]
-		}
-		s.zrow[pcol] = 0
-	}
-}
-
-// extract returns structural variable values in original (unshifted) space.
-func (s *simplex) extract() []float64 {
-	x := make([]float64, s.nStruct)
-	for j := 0; j < s.nStruct; j++ {
-		switch s.stat[j] {
-		case atLower:
-			x[j] = s.shift[j]
-		case atUpper:
-			x[j] = s.shift[j] + s.hi[j]
-		}
-	}
-	for r := 0; r < s.m; r++ {
-		if b := s.basis[r]; b < s.nStruct {
-			v := s.beta[r]
-			// Clamp tiny negative noise into bounds.
-			if v < 0 && v > -tolFeas {
-				v = 0
-			}
-			x[b] = s.shift[b] + v
-		}
-	}
-	return x
+	return obj
 }
 
 // CheckFeasible verifies that x satisfies all constraints and bounds of p

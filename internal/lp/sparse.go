@@ -1,0 +1,1291 @@
+package lp
+
+// The sparse bounded-variable revised simplex. Columns are stored once in
+// CSC form (structural) or implicitly (slack/artificial singletons); the
+// basis inverse is a product-form eta file rebuilt every refactorEvery
+// pivots. See the package comment for the design overview.
+
+import (
+	"math"
+)
+
+// cscMatrix holds the structural columns in compressed-sparse-column form.
+type cscMatrix struct {
+	colPtr []int32
+	rowIdx []int32
+	val    []float64
+}
+
+// buildCSC converts the row-wise Problem into column-wise storage.
+// Duplicate (row, var) entries are kept as-is: every linear operation the
+// solver performs (scatter, dot product) sums them naturally.
+func buildCSC(p *Problem) *cscMatrix {
+	n := p.n
+	counts := make([]int32, n+1)
+	nnz := 0
+	for _, rw := range p.rows {
+		for _, c := range rw.coefs {
+			counts[c.Var+1]++
+			nnz++
+		}
+	}
+	csc := &cscMatrix{
+		colPtr: counts,
+		rowIdx: make([]int32, nnz),
+		val:    make([]float64, nnz),
+	}
+	for j := 0; j < n; j++ {
+		csc.colPtr[j+1] += csc.colPtr[j]
+	}
+	next := make([]int32, n)
+	for j := 0; j < n; j++ {
+		next[j] = csc.colPtr[j]
+	}
+	for r, rw := range p.rows {
+		for _, c := range rw.coefs {
+			q := next[c.Var]
+			csc.rowIdx[q] = int32(r)
+			csc.val[q] = c.Val
+			next[c.Var] = q + 1
+		}
+	}
+	return csc
+}
+
+// colNNZ returns the entry count of structural column j.
+func (c *cscMatrix) colNNZ(j int) int { return int(c.colPtr[j+1] - c.colPtr[j]) }
+
+// etaFile is a sequence of elementary (eta) matrices — identity with one
+// replaced column — stored in one shared arena so refactorization allocates
+// nothing after warm-up. The basis inverse is kept in elimination form:
+//
+//	B⁻¹ = F_k⁻¹ ··· F_1⁻¹ · U⁻¹ · E_m ··· E_1
+//
+// where the E_t (file `lower`) are the Gaussian elimination steps of the
+// last refactorization (each eliminates the pivot column in the rows not
+// yet pivoted — triangular, so the file stays near nnz(B)), U⁻¹ (file
+// `upper`) is the column-oriented back-substitution of the resulting upper
+// factor, and the F⁻¹ (file `updates`) are the product-form pivot updates
+// accumulated since. Each traversal direction below applies one factor
+// group of that operator.
+type etaFile struct {
+	prow  []int32   // pivot row of each eta
+	pval  []float64 // 1/pivot of each eta
+	start []int32   // arena offsets, len(prow)+1
+	idx   []int32   // off-pivot row indices
+	val   []float64 // off-pivot values
+}
+
+func newEtaFile() *etaFile {
+	return &etaFile{start: make([]int32, 1, 64)}
+}
+
+func (e *etaFile) reset() {
+	e.prow = e.prow[:0]
+	e.pval = e.pval[:0]
+	e.start = e.start[:1]
+	e.idx = e.idx[:0]
+	e.val = e.val[:0]
+}
+
+func (e *etaFile) count() int { return len(e.prow) }
+
+// etaDrop is the absolute magnitude below which off-pivot eta entries are
+// discarded. Kept far below the solver tolerances; the periodic
+// refactorization and the final feasibility audit bound its effect.
+const etaDrop = 1e-13
+
+// push records the Gauss–Jordan eta of pivoting column d on row p.
+// Identity etas (unit pivot, no off-pivot fill) are skipped.
+func (e *etaFile) push(d []float64, p int) {
+	piv := d[p]
+	identity := piv == 1
+	if identity {
+		for r, v := range d {
+			if r != p && (v > etaDrop || v < -etaDrop) {
+				identity = false
+				break
+			}
+		}
+		if identity {
+			return
+		}
+	}
+	inv := 1 / piv
+	e.prow = append(e.prow, int32(p))
+	e.pval = append(e.pval, inv)
+	for r, v := range d {
+		if r == p || (v <= etaDrop && v >= -etaDrop) {
+			continue
+		}
+		e.idx = append(e.idx, int32(r))
+		e.val = append(e.val, -v*inv)
+	}
+	e.start = append(e.start, int32(len(e.idx)))
+}
+
+// pushParts records an eta with explicit pivot value and entry list.
+func (e *etaFile) pushParts(p int, piv float64, rows []int32, vals []float64) {
+	inv := 1 / piv
+	e.prow = append(e.prow, int32(p))
+	e.pval = append(e.pval, inv)
+	for i, r := range rows {
+		e.idx = append(e.idx, r)
+		e.val = append(e.val, -vals[i]*inv)
+	}
+	e.start = append(e.start, int32(len(e.idx)))
+}
+
+// ftranFwd applies the etas oldest-first as column operations.
+func (e *etaFile) ftranFwd(x []float64) {
+	for k := 0; k < len(e.prow); k++ {
+		p := e.prow[k]
+		t := x[p]
+		if t == 0 {
+			continue
+		}
+		x[p] = e.pval[k] * t
+		for q := e.start[k]; q < e.start[k+1]; q++ {
+			x[e.idx[q]] += e.val[q] * t
+		}
+	}
+}
+
+// ftranRev applies the etas newest-first as column operations (the
+// back-substitution order of the upper factor).
+func (e *etaFile) ftranRev(x []float64) {
+	for k := len(e.prow) - 1; k >= 0; k-- {
+		p := e.prow[k]
+		t := x[p]
+		if t == 0 {
+			continue
+		}
+		x[p] = e.pval[k] * t
+		for q := e.start[k]; q < e.start[k+1]; q++ {
+			x[e.idx[q]] += e.val[q] * t
+		}
+	}
+}
+
+// btranRev applies the etas newest-first as row operations (y ← y·E): only
+// the pivot component of y changes per eta.
+func (e *etaFile) btranRev(y []float64) {
+	for k := len(e.prow) - 1; k >= 0; k-- {
+		p := e.prow[k]
+		v := y[p] * e.pval[k]
+		for q := e.start[k]; q < e.start[k+1]; q++ {
+			v += y[e.idx[q]] * e.val[q]
+		}
+		y[p] = v
+	}
+}
+
+// btranFwd applies the etas oldest-first as row operations.
+func (e *etaFile) btranFwd(y []float64) {
+	for k := 0; k < len(e.prow); k++ {
+		p := e.prow[k]
+		v := y[p] * e.pval[k]
+		for q := e.start[k]; q < e.start[k+1]; q++ {
+			v += y[e.idx[q]] * e.val[q]
+		}
+		y[p] = v
+	}
+}
+
+// sparse is the revised-simplex working state.
+type sparse struct {
+	p    *Problem
+	opts Options
+
+	m, n  int // rows, structural columns
+	ncols int // n + 2m: structural, slack, artificial
+	csc   *cscMatrix
+
+	slackSign []float64 // per row: +1 (LE, EQ) or -1 (GE)
+	artSign   []float64 // per row: chosen by the cold crash
+	phase1    bool      // artificials free in [0, +Inf)
+
+	// clo/chi/ccost flatten bounds() and cost() into arrays for the hot
+	// loops; setPhase rebuilds the phase-dependent slices (artificial
+	// bounds, objective row).
+	clo, chi []float64
+	ccost    []float64
+
+	stat  []vstat
+	basis []int // basis[r] = column basic in row r
+	beta  []float64
+
+	// Basis inverse in elimination form (see etaFile): lower/upper from
+	// the last refactorization, updates appended per pivot since.
+	lower, upper, updates *etaFile
+	refactorEvery         int
+
+	iters      int
+	maxIters   int
+	bland      bool
+	priceStart int // rotating offset for partial pricing
+
+	// scratch, sized m
+	colBuf []float64
+	yBuf   []float64
+	rhsBuf []float64
+	pivBuf []bool
+	rowBuf []int
+
+	// refactorization scratch, reused across refactorizations
+	refCnt     []int32
+	refRowPtr  []int32
+	refRowAdj  []int32
+	refBuckets [][]int32
+	refDone    []bool
+	refLoRows  []int32
+	refLoVals  []float64
+	refUpRows  []int32
+	refUpVals  []float64
+}
+
+func newSparse(p *Problem, opts Options) *sparse {
+	m := len(p.rows)
+	if p.csc == nil {
+		p.csc = buildCSC(p)
+	}
+	s := &sparse{
+		p: p, opts: opts,
+		m: m, n: p.n, ncols: p.n + 2*m,
+		csc:       p.csc,
+		slackSign: make([]float64, m),
+		artSign:   make([]float64, m),
+		stat:      make([]vstat, p.n+2*m),
+		basis:     make([]int, m),
+		beta:      make([]float64, m),
+		lower:     newEtaFile(),
+		upper:     newEtaFile(),
+		updates:   newEtaFile(),
+		colBuf:    make([]float64, m),
+		yBuf:      make([]float64, m),
+		rhsBuf:    make([]float64, m),
+		pivBuf:    make([]bool, m),
+		rowBuf:    make([]int, m),
+
+		refCnt:     make([]int32, m),
+		refRowPtr:  make([]int32, m+2),
+		refBuckets: make([][]int32, m+2),
+		refDone:    make([]bool, m),
+	}
+	for r, rw := range p.rows {
+		if rw.rel == GE {
+			s.slackSign[r] = -1
+		} else {
+			s.slackSign[r] = 1
+		}
+		s.artSign[r] = 1
+	}
+	s.clo = make([]float64, s.ncols)
+	s.chi = make([]float64, s.ncols)
+	s.ccost = make([]float64, s.ncols)
+	s.setPhase(false)
+	s.maxIters = opts.MaxIters
+	if s.maxIters <= 0 {
+		s.maxIters = 200*(m+s.ncols) + 2000
+	}
+	s.refactorEvery = opts.RefactorEvery
+	if s.refactorEvery <= 0 {
+		// Balance the per-iteration cost of traversing the (dense-ish)
+		// product-form update etas, ~RefactorEvery·m, against the
+		// amortized ~m²/RefactorEvery refactorization cost: the optimum
+		// grows with √m.
+		s.refactorEvery = 16 + 2*int(math.Sqrt(float64(m)))
+	}
+	return s
+}
+
+// setPhase installs the phase-dependent per-column bounds and costs:
+// phase 1 frees the artificials in [0, +Inf) and prices only them; phase 2
+// pins artificials to [0,0] and installs the true objective.
+func (s *sparse) setPhase(phase1 bool) {
+	s.phase1 = phase1
+	inf := math.Inf(1)
+	for j := 0; j < s.n; j++ {
+		s.clo[j], s.chi[j] = s.p.lo[j], s.p.hi[j]
+		if phase1 {
+			s.ccost[j] = 0
+		} else {
+			s.ccost[j] = s.p.obj[j]
+		}
+	}
+	for r, rw := range s.p.rows {
+		slack, art := s.n+r, s.n+s.m+r
+		s.clo[slack], s.ccost[slack] = 0, 0
+		if rw.rel == EQ {
+			s.chi[slack] = 0
+		} else {
+			s.chi[slack] = inf
+		}
+		s.clo[art] = 0
+		if phase1 {
+			s.chi[art], s.ccost[art] = inf, 1
+		} else {
+			s.chi[art], s.ccost[art] = 0, 0
+		}
+	}
+}
+
+// bounds returns the box of column j under the current phase.
+func (s *sparse) bounds(j int) (lo, hi float64) {
+	return s.clo[j], s.chi[j]
+}
+
+// cost returns the objective coefficient of column j under the current
+// phase.
+func (s *sparse) cost(j int) float64 { return s.ccost[j] }
+
+// xval returns the current value of nonbasic column j.
+func (s *sparse) xval(j int) float64 {
+	if s.stat[j] == atUpper {
+		return s.chi[j]
+	}
+	return s.clo[j]
+}
+
+// scatterColumn adds column j of the constraint matrix into dense x.
+func (s *sparse) scatterColumn(j int, x []float64) {
+	switch {
+	case j < s.n:
+		for q := s.csc.colPtr[j]; q < s.csc.colPtr[j+1]; q++ {
+			x[s.csc.rowIdx[q]] += s.csc.val[q]
+		}
+	case j < s.n+s.m:
+		r := j - s.n
+		x[r] += s.slackSign[r]
+	default:
+		r := j - s.n - s.m
+		x[r] += s.artSign[r]
+	}
+}
+
+// ftran applies the full basis inverse to the column vector x.
+func (s *sparse) ftran(x []float64) {
+	s.lower.ftranFwd(x)
+	s.upper.ftranRev(x)
+	s.updates.ftranFwd(x)
+}
+
+// btran applies the full basis inverse to the row vector y.
+func (s *sparse) btran(y []float64) {
+	s.updates.btranRev(y)
+	s.upper.btranFwd(y)
+	s.lower.btranRev(y)
+}
+
+// ftranColumn returns B⁻¹·(column j) in the shared scratch buffer.
+func (s *sparse) ftranColumn(j int) []float64 {
+	d := s.colBuf
+	for i := range d {
+		d[i] = 0
+	}
+	s.scatterColumn(j, d)
+	s.ftran(d)
+	return d
+}
+
+// reducedCost computes c_j − y·a_j for the BTRAN vector y.
+func (s *sparse) reducedCost(j int, y []float64) float64 {
+	c := s.cost(j)
+	switch {
+	case j < s.n:
+		for q := s.csc.colPtr[j]; q < s.csc.colPtr[j+1]; q++ {
+			c -= y[s.csc.rowIdx[q]] * s.csc.val[q]
+		}
+	case j < s.n+s.m:
+		r := j - s.n
+		c -= y[r] * s.slackSign[r]
+	default:
+		r := j - s.n - s.m
+		c -= y[r] * s.artSign[r]
+	}
+	return c
+}
+
+// btranCost returns y = c_B·B⁻¹ in the shared scratch buffer.
+func (s *sparse) btranCost() []float64 {
+	y := s.yBuf
+	for r := 0; r < s.m; r++ {
+		y[r] = s.cost(s.basis[r])
+	}
+	s.btran(y)
+	return y
+}
+
+// colRow returns the row of singleton (slack/artificial) column c.
+func (s *sparse) colRow(c int) int {
+	if c < s.n+s.m {
+		return c - s.n
+	}
+	return c - s.n - s.m
+}
+
+// refactor rebuilds the basis factorization from scratch by sparse
+// Gaussian elimination over the current basis columns: each column yields
+// one lower eta (the elimination over not-yet-pivoted rows) and one upper
+// eta (its back-substitution entries in already-pivoted rows), leaving the
+// update file empty. Columns are eliminated in order of their
+// dynamically-updated count of entries in unpivoted rows (a greedy
+// triangularization, tracked with a bucket queue): columns that become
+// singletons as rows pivot out are eliminated first, which keeps fill —
+// and therefore both factor files — near nnz(B). Partial pivoting on
+// magnitude within each column's unpivoted rows guards numerics.
+// Reassigns basis rows and recomputes beta; returns false if the basis is
+// numerically singular.
+func (s *sparse) refactor() bool {
+	s.lower.reset()
+	s.upper.reset()
+	s.updates.reset()
+	m := s.m
+	cols := s.rowBuf[:m]
+	copy(cols, s.basis)
+
+	// cnt[k]: entries of basis column k in unpivoted rows. rowAdj lists,
+	// per row, the basis columns touching it (to decrement counts as rows
+	// pivot out). Zero-count columns are parked in the overflow bucket m+1
+	// and tried last: elimination fill can still make them pivotable.
+	cnt := s.refCnt
+	rowPtr := s.refRowPtr
+	for i := range rowPtr {
+		rowPtr[i] = 0
+	}
+	for k, c := range cols {
+		if c < s.n {
+			cnt[k] = int32(s.csc.colNNZ(c))
+			for q := s.csc.colPtr[c]; q < s.csc.colPtr[c+1]; q++ {
+				rowPtr[s.csc.rowIdx[q]+2]++
+			}
+		} else {
+			cnt[k] = 1
+			rowPtr[s.colRow(c)+2]++
+		}
+	}
+	for r := 1; r < m+2; r++ {
+		rowPtr[r] += rowPtr[r-1]
+	}
+	if cap(s.refRowAdj) < int(rowPtr[m+1]) {
+		s.refRowAdj = make([]int32, rowPtr[m+1])
+	}
+	rowAdj := s.refRowAdj[:rowPtr[m+1]]
+	for k, c := range cols {
+		if c < s.n {
+			for q := s.csc.colPtr[c]; q < s.csc.colPtr[c+1]; q++ {
+				r := s.csc.rowIdx[q] + 1
+				rowAdj[rowPtr[r]] = int32(k)
+				rowPtr[r]++
+			}
+		} else {
+			r := s.colRow(c) + 1
+			rowAdj[rowPtr[r]] = int32(k)
+			rowPtr[r]++
+		}
+	}
+	// Bucket queue with lazy deletion: a column is appended to a bucket
+	// each time its count drops, so stale entries (recorded bucket no
+	// longer matching the live count) are skipped at pop time.
+	buckets := s.refBuckets
+	for b := range buckets {
+		buckets[b] = buckets[b][:0]
+	}
+	bucketOf := func(k int32) int32 {
+		if cnt[k] == 0 {
+			return int32(m + 1)
+		}
+		return cnt[k]
+	}
+	push := func(k int32) {
+		b := bucketOf(k)
+		buckets[b] = append(buckets[b], k)
+	}
+	for k := range cols {
+		push(int32(k))
+	}
+	done := s.refDone
+	pivoted := s.pivBuf
+	for r := range pivoted {
+		done[r] = false
+		pivoted[r] = false
+	}
+	loRows, upRows := s.refLoRows, s.refUpRows
+	loVals, upVals := s.refLoVals, s.refUpVals
+
+	minB := int32(1)
+	for picked := 0; picked < m; picked++ {
+		// Pop the lowest-bucket live column.
+		k := int32(-1)
+		for ; minB <= int32(m+1); minB++ {
+			b := buckets[minB]
+			for len(b) > 0 {
+				cand := b[len(b)-1]
+				b = b[:len(b)-1]
+				if !done[cand] && bucketOf(cand) == minB {
+					k = cand
+					break
+				}
+			}
+			buckets[minB] = b
+			if k >= 0 {
+				break
+			}
+		}
+		if k < 0 {
+			return false
+		}
+		done[k] = true
+		c := cols[k]
+		d := s.colBuf
+		for i := range d {
+			d[i] = 0
+		}
+		s.scatterColumn(c, d)
+		s.lower.ftranFwd(d)
+		// Split the transformed column: unpivoted rows feed the lower
+		// (elimination) eta, pivoted rows the upper (back-substitution)
+		// eta. The pivot is the largest unpivoted entry.
+		best, bv := -1, 0.0
+		loRows, loVals = loRows[:0], loVals[:0]
+		upRows, upVals = upRows[:0], upVals[:0]
+		for r := 0; r < m; r++ {
+			v := d[r]
+			if v <= etaDrop && v >= -etaDrop {
+				continue
+			}
+			if pivoted[r] {
+				upRows = append(upRows, int32(r))
+				upVals = append(upVals, v)
+				continue
+			}
+			loRows = append(loRows, int32(r))
+			loVals = append(loVals, v)
+			if a := math.Abs(v); a > bv {
+				best, bv = r, a
+			}
+		}
+		if bv < 1e-10 {
+			return false
+		}
+		// Drop the pivot itself from the lower entry list.
+		piv := d[best]
+		for i, r := range loRows {
+			if int(r) == best {
+				last := len(loRows) - 1
+				loRows[i], loVals[i] = loRows[last], loVals[last]
+				loRows, loVals = loRows[:last], loVals[:last]
+				break
+			}
+		}
+		if piv != 1 || len(loRows) > 0 {
+			s.lower.pushParts(best, piv, loRows, loVals)
+		}
+		if len(upRows) > 0 {
+			// The lower eta scaled the diagonal to 1, so the upper eta's
+			// pivot value is 1.
+			s.upper.pushParts(best, 1, upRows, upVals)
+		}
+		pivoted[best] = true
+		s.basis[best] = c
+		// Row `best` left the unpivoted set: decrement its columns.
+		for q := rowPtr[best]; q < rowPtr[best+1]; q++ {
+			kk := rowAdj[q]
+			if !done[kk] {
+				cnt[kk]--
+				push(kk)
+				if b := bucketOf(kk); b < minB {
+					minB = b
+				}
+			}
+		}
+	}
+	s.refLoRows, s.refUpRows = loRows, upRows
+	s.refLoVals, s.refUpVals = loVals, upVals
+	s.computeBeta()
+	return true
+}
+
+// computeBeta solves B·β = b − N·x_N for the basic values. Only structural
+// nonbasic columns can sit at a nonzero bound (slacks and artificials have
+// lower bound 0 and can never be nonbasic at +Inf), so the adjustment loop
+// touches structural columns alone.
+func (s *sparse) computeBeta() {
+	r := s.rhsBuf
+	for i, rw := range s.p.rows {
+		r[i] = rw.rhs
+	}
+	for j := 0; j < s.n; j++ {
+		if s.stat[j] == basic {
+			continue
+		}
+		if xv := s.xval(j); xv != 0 {
+			for q := s.csc.colPtr[j]; q < s.csc.colPtr[j+1]; q++ {
+				r[s.csc.rowIdx[q]] -= s.csc.val[q] * xv
+			}
+		}
+	}
+	s.ftran(r)
+	copy(s.beta, r)
+}
+
+// maybeRefactor refactorizes once the update file outgrows the cadence.
+func (s *sparse) maybeRefactor() bool {
+	if s.updates.count() < s.refactorEvery {
+		return true
+	}
+	return s.refactor()
+}
+
+// enterable reports whether nonbasic column j may enter the basis: fixed
+// columns (empty box) and retired artificials never re-enter.
+func (s *sparse) enterable(j int) bool {
+	if j >= s.n+s.m {
+		return false // artificials never re-enter once nonbasic
+	}
+	lo, hi := s.bounds(j)
+	return hi > lo
+}
+
+// chooseEntering prices the nonbasic columns and returns the entering
+// column with its direction (+1 rising from lower, −1 falling from upper),
+// or (−1, 0) at optimality.
+func (s *sparse) chooseEntering(y []float64) (int, float64) {
+	if s.bland {
+		for j := 0; j < s.ncols; j++ {
+			if s.stat[j] == basic || !s.enterable(j) {
+				continue
+			}
+			d := s.reducedCost(j, y)
+			if s.stat[j] == atLower && -d > tolCost {
+				return j, 1
+			}
+			if s.stat[j] == atUpper && d > tolCost {
+				return j, -1
+			}
+		}
+		return -1, 0
+	}
+	if s.opts.Pricing == PartialPricing {
+		return s.choosePartial(y)
+	}
+	// Dantzig pricing, inlined per column class for the hot path:
+	// structural columns price against their CSC slice, slacks against a
+	// single row of y; artificials never re-enter.
+	bestJ, bestDir, bestScore := -1, 0.0, tolCost
+	for j := 0; j < s.n; j++ {
+		st := s.stat[j]
+		if st == basic || s.chi[j] <= s.clo[j] {
+			continue
+		}
+		c := s.ccost[j]
+		for q := s.csc.colPtr[j]; q < s.csc.colPtr[j+1]; q++ {
+			c -= y[s.csc.rowIdx[q]] * s.csc.val[q]
+		}
+		if st == atLower {
+			if v := -c; v > bestScore {
+				bestJ, bestDir, bestScore = j, 1, v
+			}
+		} else if c > bestScore {
+			bestJ, bestDir, bestScore = j, -1, c
+		}
+	}
+	for r := 0; r < s.m; r++ {
+		j := s.n + r
+		st := s.stat[j]
+		if st == basic || s.chi[j] <= 0 {
+			continue
+		}
+		c := -y[r] * s.slackSign[r] // slack cost is 0 in both phases
+		if st == atLower {
+			if v := -c; v > bestScore {
+				bestJ, bestDir, bestScore = j, 1, v
+			}
+		} else if c > bestScore {
+			bestJ, bestDir, bestScore = j, -1, c
+		}
+	}
+	return bestJ, bestDir
+}
+
+// choosePartial scans rotating blocks of columns and returns the best
+// candidate of the first block containing one (cheaper pricing per
+// iteration at the cost of possibly more iterations).
+func (s *sparse) choosePartial(y []float64) (int, float64) {
+	block := s.ncols / 16
+	if block < 32 {
+		block = 32
+	}
+	scanned := 0
+	j := s.priceStart % s.ncols
+	for scanned < s.ncols {
+		bestJ, bestDir, bestScore := -1, 0.0, tolCost
+		for b := 0; b < block && scanned < s.ncols; b++ {
+			if s.stat[j] != basic && s.enterable(j) {
+				d := s.reducedCost(j, y)
+				if s.stat[j] == atLower {
+					if v := -d; v > bestScore {
+						bestJ, bestDir, bestScore = j, 1, v
+					}
+				} else if s.stat[j] == atUpper && d > bestScore {
+					bestJ, bestDir, bestScore = j, -1, d
+				}
+			}
+			scanned++
+			j++
+			if j == s.ncols {
+				j = 0
+			}
+		}
+		if bestJ >= 0 {
+			s.priceStart = j
+			return bestJ, bestDir
+		}
+	}
+	return -1, 0
+}
+
+// iterate runs primal simplex pivots until optimal/unbounded/limit.
+func (s *sparse) iterate() Status {
+	blandAfter := 20*(s.m+s.ncols) + 1000
+	start := s.iters
+	for {
+		if s.iters-start > blandAfter {
+			s.bland = true
+		}
+		if s.iters >= s.maxIters {
+			return IterLimit
+		}
+		if !s.maybeRefactor() {
+			return IterLimit // singular basis: caller escalates
+		}
+		y := s.btranCost()
+		j, dir := s.chooseEntering(y)
+		if j < 0 {
+			return Optimal
+		}
+		d := s.ftranColumn(j)
+		st := s.ratioTestAndPivot(j, dir, d)
+		if st != 0 {
+			return st
+		}
+		s.iters++
+	}
+}
+
+// ratioTestAndPivot moves entering column j in direction dir along its
+// FTRAN'd column d, performing a bound flip or a basis change. Returns a
+// terminal status or 0 to continue.
+func (s *sparse) ratioTestAndPivot(j int, dir float64, d []float64) Status {
+	loJ, hiJ := s.bounds(j)
+	t := hiJ - loJ // may be +Inf
+	leaveRow := -1
+	leaveToUpper := false
+	bestPivot := 0.0
+	for r := 0; r < s.m; r++ {
+		a := d[r] * dir
+		if a > tolPivot {
+			// Basic variable decreases toward its lower bound.
+			lob, _ := s.bounds(s.basis[r])
+			lim := (s.beta[r] - lob) / a
+			if lim < t-1e-12 || (lim < t+1e-12 && math.Abs(d[r]) > math.Abs(bestPivot)) {
+				if lim < 0 {
+					lim = 0
+				}
+				t = lim
+				leaveRow = r
+				leaveToUpper = false
+				bestPivot = d[r]
+			}
+		} else if a < -tolPivot {
+			// Basic variable increases toward its upper bound.
+			_, ub := s.bounds(s.basis[r])
+			if math.IsInf(ub, 1) {
+				continue
+			}
+			lim := (ub - s.beta[r]) / (-a)
+			if lim < t-1e-12 || (lim < t+1e-12 && math.Abs(d[r]) > math.Abs(bestPivot)) {
+				if lim < 0 {
+					lim = 0
+				}
+				t = lim
+				leaveRow = r
+				leaveToUpper = true
+				bestPivot = d[r]
+			}
+		}
+	}
+	if math.IsInf(t, 1) {
+		return Unbounded
+	}
+	if t != 0 {
+		step := t * dir
+		for r := 0; r < s.m; r++ {
+			if d[r] != 0 {
+				s.beta[r] -= d[r] * step
+			}
+		}
+	}
+	if leaveRow < 0 {
+		// Bound flip: j traverses to its opposite bound.
+		if dir > 0 {
+			s.stat[j] = atUpper
+		} else {
+			s.stat[j] = atLower
+		}
+		return 0
+	}
+	leaving := s.basis[leaveRow]
+	if leaveToUpper {
+		s.stat[leaving] = atUpper
+	} else {
+		s.stat[leaving] = atLower
+	}
+	var enterVal float64
+	if dir > 0 {
+		enterVal = loJ + t
+	} else {
+		enterVal = hiJ - t
+	}
+	s.basis[leaveRow] = j
+	s.stat[j] = basic
+	s.beta[leaveRow] = enterVal
+	s.updates.push(d, leaveRow)
+	return 0
+}
+
+// crashBasis installs the cold-start basis: structural columns at their
+// lower bounds, each row served by its slack when the adjusted rhs allows,
+// an artificial (with sign matching the residual) otherwise. Returns
+// whether any artificial entered the basis (phase 1 needed).
+func (s *sparse) crashBasis() bool {
+	for j := 0; j < s.ncols; j++ {
+		s.stat[j] = atLower
+	}
+	r0 := s.rhsBuf
+	for i, rw := range s.p.rows {
+		r0[i] = rw.rhs
+	}
+	for j := 0; j < s.n; j++ {
+		if lo := s.p.lo[j]; lo != 0 {
+			for q := s.csc.colPtr[j]; q < s.csc.colPtr[j+1]; q++ {
+				r0[s.csc.rowIdx[q]] -= s.csc.val[q] * lo
+			}
+		}
+	}
+	hasArt := false
+	for r, rw := range s.p.rows {
+		slack, art := s.n+r, s.n+s.m+r
+		useArt := false
+		switch rw.rel {
+		case LE:
+			if r0[r] >= 0 {
+				s.setBasic(r, slack, r0[r])
+			} else {
+				s.artSign[r] = -1
+				useArt = true
+			}
+		case GE:
+			if r0[r] <= 0 {
+				s.setBasic(r, slack, -r0[r])
+			} else {
+				s.artSign[r] = 1
+				useArt = true
+			}
+		case EQ:
+			if r0[r] >= 0 {
+				s.artSign[r] = 1
+			} else {
+				s.artSign[r] = -1
+			}
+			useArt = true
+		}
+		if useArt {
+			s.setBasic(r, art, math.Abs(r0[r]))
+			hasArt = true
+		}
+	}
+	return hasArt
+}
+
+func (s *sparse) setBasic(r, col int, val float64) {
+	s.basis[r] = col
+	s.stat[col] = basic
+	s.beta[r] = val
+}
+
+// runCold executes the classic two phases from the crash basis.
+func (s *sparse) runCold() Status {
+	needPhase1 := s.crashBasis()
+	if !s.refactor() {
+		return IterLimit
+	}
+	if needPhase1 {
+		s.setPhase(true)
+		st := s.iterate()
+		if st != Optimal {
+			if st == Unbounded {
+				// The phase-1 objective is bounded below by 0; an
+				// unbounded report means numerical trouble.
+				return Infeasible
+			}
+			return st
+		}
+		obj1 := 0.0
+		for r := 0; r < s.m; r++ {
+			if s.basis[r] >= s.n+s.m {
+				obj1 += s.beta[r]
+			}
+		}
+		if obj1 > tolArt {
+			return Infeasible
+		}
+		// Retire the artificials: phase 2 pins them to [0,0]; any still
+		// basic sit degenerate at zero and the ratio test keeps them
+		// there.
+		s.setPhase(false)
+		for j := s.n + s.m; j < s.ncols; j++ {
+			if s.stat[j] == atUpper {
+				s.stat[j] = atLower
+			}
+		}
+	}
+	s.bland = false
+	return s.iterate()
+}
+
+// primalInfeasibility returns the largest bound violation among the basic
+// values (0 when primal feasible).
+func (s *sparse) primalInfeasibility() float64 {
+	worst := 0.0
+	for r := 0; r < s.m; r++ {
+		lo, hi := s.bounds(s.basis[r])
+		if v := lo - s.beta[r]; v > worst {
+			worst = v
+		}
+		if v := s.beta[r] - hi; v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// dualFeasible reports whether the current basis satisfies the phase-2
+// optimality sign conditions on every enterable nonbasic column.
+func (s *sparse) dualFeasible() bool {
+	y := s.btranCost()
+	for j := 0; j < s.ncols; j++ {
+		if s.stat[j] == basic || !s.enterable(j) {
+			continue
+		}
+		d := s.reducedCost(j, y)
+		if s.stat[j] == atLower && d < -tolFeas {
+			return false
+		}
+		if s.stat[j] == atUpper && d > tolFeas {
+			return false
+		}
+	}
+	return true
+}
+
+// installWarm loads a warm-start basis. Statuses are reinterpreted against
+// the problem's current bounds (an atUpper column whose upper bound became
+// +Inf degrades to atLower). Returns false if the basis cannot be
+// factorized.
+func (s *sparse) installWarm(b *Basis) bool {
+	k := 0
+	for j, st := range b.ColStat {
+		switch st {
+		case BasisBasic:
+			if k == s.m {
+				return false
+			}
+			s.stat[j] = basic
+			s.basis[k] = j
+			k++
+		case BasisAtUpper:
+			if _, hi := s.bounds(j); math.IsInf(hi, 1) {
+				s.stat[j] = atLower
+			} else {
+				s.stat[j] = atUpper
+			}
+		default:
+			s.stat[j] = atLower
+		}
+	}
+	if k != s.m {
+		return false
+	}
+	return s.refactor()
+}
+
+// dualIterate runs dual simplex pivots from a dual-feasible basis until
+// primal feasibility (→ Optimal), dual unboundedness (→ Infeasible), or a
+// limit. The ratio test is the bounded-variable rule: candidates are the
+// nonbasic columns whose admissible movement drives the leaving basic value
+// toward its violated bound; the minimum |reduced cost / alpha| preserves
+// dual feasibility.
+func (s *sparse) dualIterate() Status {
+	for {
+		if s.iters >= s.maxIters {
+			return IterLimit
+		}
+		if !s.maybeRefactor() {
+			return IterLimit
+		}
+		// Leaving row: the most violated basic value.
+		leave, worst, toUpper := -1, tolFeas, false
+		for r := 0; r < s.m; r++ {
+			lo, hi := s.bounds(s.basis[r])
+			if v := lo - s.beta[r]; v > worst {
+				leave, worst, toUpper = r, v, false
+			}
+			if v := s.beta[r] - hi; v > worst {
+				leave, worst, toUpper = r, v, true
+			}
+		}
+		if leave < 0 {
+			return Optimal
+		}
+		// rho = row `leave` of B⁻¹; alpha_j = rho·a_j.
+		rho := s.yBuf
+		for i := range rho {
+			rho[i] = 0
+		}
+		rho[leave] = 1
+		s.btran(rho)
+		y := s.btranCostInto(s.rhsBuf)
+		// Entering: minimize |d_j/alpha_j| over admissible columns.
+		// needPos: when the basic value sits above its upper bound it must
+		// decrease, so an at-lower candidate (which can only increase)
+		// needs alpha > 0, an at-upper candidate alpha < 0 — and vice
+		// versa below the lower bound.
+		enter, bestRatio, bestAlpha := -1, math.Inf(1), 0.0
+		for j := 0; j < s.ncols; j++ {
+			if s.stat[j] == basic || !s.enterable(j) {
+				continue
+			}
+			alpha := s.rowDot(j, rho)
+			if math.Abs(alpha) <= tolPivot {
+				continue
+			}
+			atLo := s.stat[j] != atUpper
+			var ok bool
+			if toUpper {
+				ok = (atLo && alpha > 0) || (!atLo && alpha < 0)
+			} else {
+				ok = (atLo && alpha < 0) || (!atLo && alpha > 0)
+			}
+			if !ok {
+				continue
+			}
+			d := s.reducedCost(j, y)
+			ratio := math.Abs(d) / math.Abs(alpha)
+			if ratio < bestRatio-1e-12 || (ratio < bestRatio+1e-12 && math.Abs(alpha) > math.Abs(bestAlpha)) {
+				enter, bestRatio, bestAlpha = j, ratio, alpha
+			}
+		}
+		if enter < 0 {
+			return Infeasible // dual unbounded ⇒ primal infeasible
+		}
+		d := s.ftranColumn(enter)
+		if math.Abs(d[leave]) <= tolPivot {
+			// Drifted pivot. If the factorization is already fresh the
+			// disagreement is not drift — bail. Otherwise refactorize
+			// and restart the iteration: refactorization permutes the
+			// basis-to-row assignment, so both `leave` and its
+			// violated-bound direction must be re-derived from the
+			// rebuilt basis rather than reused.
+			if s.updates.count() == 0 || !s.refactor() {
+				return IterLimit
+			}
+			continue
+		}
+		lo, hi := s.bounds(s.basis[leave])
+		bound := lo
+		if toUpper {
+			bound = hi
+		}
+		step := (s.beta[leave] - bound) / d[leave]
+		for r := 0; r < s.m; r++ {
+			if d[r] != 0 {
+				s.beta[r] -= d[r] * step
+			}
+		}
+		leaving := s.basis[leave]
+		if toUpper {
+			s.stat[leaving] = atUpper
+		} else {
+			s.stat[leaving] = atLower
+		}
+		enterVal := s.xval(enter) + step
+		s.basis[leave] = enter
+		s.stat[enter] = basic
+		s.beta[leave] = enterVal
+		s.updates.push(d, leave)
+		s.iters++
+	}
+}
+
+// btranCostInto is btranCost writing into the caller's buffer (so the
+// shared yBuf can hold rho concurrently).
+func (s *sparse) btranCostInto(y []float64) []float64 {
+	for r := 0; r < s.m; r++ {
+		y[r] = s.cost(s.basis[r])
+	}
+	s.btran(y)
+	return y
+}
+
+// rowDot computes rho·a_j for column j.
+func (s *sparse) rowDot(j int, rho []float64) float64 {
+	v := 0.0
+	switch {
+	case j < s.n:
+		for q := s.csc.colPtr[j]; q < s.csc.colPtr[j+1]; q++ {
+			v += rho[s.csc.rowIdx[q]] * s.csc.val[q]
+		}
+	case j < s.n+s.m:
+		r := j - s.n
+		v = rho[r] * s.slackSign[r]
+	default:
+		r := j - s.n - s.m
+		v = rho[r] * s.artSign[r]
+	}
+	return v
+}
+
+// runWarm attempts a warm-started solve: primal phase 2 from a primal
+// feasible basis, dual simplex from a dual feasible one. The bool reports
+// whether the warm path produced a trustworthy terminal status; on false
+// the caller must fall back to a cold solve.
+func (s *sparse) runWarm(b *Basis) (Status, bool) {
+	if !s.installWarm(b) {
+		return 0, false
+	}
+	if s.primalInfeasibility() <= tolFeas {
+		return s.iterate(), true
+	}
+	if !s.dualFeasible() {
+		return 0, false
+	}
+	st := s.dualIterate()
+	if st == Infeasible {
+		// Dual unboundedness proves primal infeasibility, but the caller
+		// re-verifies with a cold phase 1 before trusting it (a wrong
+		// Infeasible would silently mis-prune branch-and-bound).
+		return Infeasible, true
+	}
+	if st != Optimal {
+		return 0, false
+	}
+	// Dual feasibility was maintained throughout, so this primal cleanup
+	// normally confirms optimality in zero pivots.
+	return s.iterate(), true
+}
+
+// extract returns the structural variable values, clamping sub-tolerance
+// bound violations introduced by floating-point drift.
+func (s *sparse) extract() []float64 {
+	x := make([]float64, s.n)
+	for j := 0; j < s.n; j++ {
+		if s.stat[j] == atUpper {
+			x[j] = s.p.hi[j]
+		} else {
+			x[j] = s.p.lo[j]
+		}
+	}
+	for r := 0; r < s.m; r++ {
+		if b := s.basis[r]; b < s.n {
+			v := s.beta[r]
+			if lo := s.p.lo[b]; v < lo && v > lo-tolFeas {
+				v = lo
+			}
+			if hi := s.p.hi[b]; v > hi && v < hi+tolFeas {
+				v = hi
+			}
+			x[b] = v
+		}
+	}
+	return x
+}
+
+// snapshotBasis captures the current basis for warm starts.
+func (s *sparse) snapshotBasis() *Basis {
+	b := &Basis{
+		NumVars: s.n,
+		NumRows: s.m,
+		ColStat: make([]int8, s.ncols),
+	}
+	for j := 0; j < s.ncols; j++ {
+		switch s.stat[j] {
+		case basic:
+			b.ColStat[j] = BasisBasic
+		case atUpper:
+			b.ColStat[j] = BasisAtUpper
+		default:
+			b.ColStat[j] = BasisAtLower
+		}
+	}
+	return b
+}
+
+// solveSparse orchestrates the sparse solver with a recovery ladder: warm
+// start (when offered and usable) → cold solve → cold solve with a tight
+// refactorization cadence → dense reference solver. Every claimed optimum
+// is audited against the original rows before being returned.
+func (p *Problem) solveSparse(opts Options) (*Solution, error) {
+	totalIters := 0
+	finish := func(s *sparse, st Status) *Solution {
+		sol := &Solution{Status: st, Iterations: totalIters}
+		if st == Optimal || st == IterLimit {
+			sol.X = s.extract()
+			sol.Objective = p.objectiveOf(sol.X)
+		}
+		if st == Optimal {
+			sol.Basis = s.snapshotBasis()
+		}
+		return sol
+	}
+
+	if opts.WarmStart.compatible(p) {
+		s := newSparse(p, opts)
+		st, ok := s.runWarm(opts.WarmStart)
+		totalIters += s.iters
+		if ok && st == Optimal {
+			if x := s.extract(); p.CheckFeasible(x, 1e-6) == nil {
+				return finish(s, st), nil
+			}
+		}
+		// Anything else — unusable basis, non-optimal terminal status, or
+		// an optimum that fails the audit — re-solves cold. In particular
+		// a warm Infeasible is only trusted once phase 1 confirms it.
+	}
+
+	s := newSparse(p, opts)
+	st := s.runCold()
+	totalIters += s.iters
+	if st == Optimal {
+		if x := s.extract(); p.CheckFeasible(x, 1e-6) != nil {
+			// Numerical drift: once more with an eagerly refactorized
+			// basis before surrendering to the dense reference solver.
+			tight := opts
+			tight.RefactorEvery = 16
+			s2 := newSparse(p, tight)
+			st2 := s2.runCold()
+			totalIters += s2.iters
+			if st2 == Optimal {
+				if x2 := s2.extract(); p.CheckFeasible(x2, 1e-6) == nil {
+					return finish(s2, st2), nil
+				}
+			}
+			sol, err := p.solveDense(opts)
+			if err == nil {
+				sol.Iterations += totalIters
+			}
+			return sol, err
+		}
+	}
+	return finish(s, st), nil
+}

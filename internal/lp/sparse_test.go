@@ -1,0 +1,392 @@
+package lp
+
+// Golden cross-checks of the sparse revised simplex against the dense
+// tableau reference solver, warm-start equivalence tests, and the
+// sparse-vs-dense benchmark pair.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// fixtureProblems rebuilds the hand-written LP fixtures of lp_test.go with
+// their known optima, so both solvers can be checked against the same
+// golden values.
+func fixtureProblems() []struct {
+	name string
+	mk   func() *Problem
+	want float64
+} {
+	inf := math.Inf(1)
+	return []struct {
+		name string
+		mk   func() *Problem
+		want float64
+	}{
+		{"simple", func() *Problem {
+			p := NewProblem(2)
+			p.SetObjectiveCoef(0, -1)
+			p.SetObjectiveCoef(1, -1)
+			p.AddConstraint(LE, 4, Coef{0, 1}, Coef{1, 2})
+			p.AddConstraint(LE, 6, Coef{0, 3}, Coef{1, 1})
+			return p
+		}, -14.0 / 5},
+		{"equality-ge", func() *Problem {
+			p := NewProblem(2)
+			p.SetObjectiveCoef(0, 2)
+			p.SetObjectiveCoef(1, 3)
+			p.AddConstraint(EQ, 10, Coef{0, 1}, Coef{1, 1})
+			p.AddConstraint(GE, 3, Coef{0, 1})
+			p.AddConstraint(GE, 2, Coef{1, 1})
+			return p
+		}, 22},
+		{"bounded", func() *Problem {
+			p := NewProblem(2)
+			p.SetObjectiveCoef(0, -1)
+			p.SetObjectiveCoef(1, -2)
+			p.SetBounds(0, 0, 1)
+			p.SetBounds(1, 0, 1)
+			p.AddConstraint(LE, 1.5, Coef{0, 1}, Coef{1, 1})
+			return p
+		}, -2.5},
+		{"shifted-lower", func() *Problem {
+			p := NewProblem(2)
+			p.SetObjectiveCoef(0, 1)
+			p.SetObjectiveCoef(1, 1)
+			p.SetBounds(0, 2, inf)
+			p.SetBounds(1, 3, 5)
+			p.AddConstraint(GE, 7, Coef{0, 1}, Coef{1, 1})
+			return p
+		}, 7},
+		{"degenerate", func() *Problem {
+			p := NewProblem(4)
+			for j, v := range []float64{-0.75, 150, -0.02, 6} {
+				p.SetObjectiveCoef(j, v)
+			}
+			p.AddConstraint(LE, 0, Coef{0, 0.25}, Coef{1, -60}, Coef{2, -0.04}, Coef{3, 9})
+			p.AddConstraint(LE, 0, Coef{0, 0.5}, Coef{1, -90}, Coef{2, -0.02}, Coef{3, 3})
+			p.AddConstraint(LE, 1, Coef{2, 1})
+			return p
+		}, -0.05},
+		{"negative-rhs", func() *Problem {
+			p := NewProblem(1)
+			p.SetObjectiveCoef(0, 1)
+			p.AddConstraint(LE, -3, Coef{0, -1})
+			return p
+		}, 3},
+		{"eq-negative-rhs", func() *Problem {
+			p := NewProblem(2)
+			p.SetObjectiveCoef(0, 1)
+			p.SetObjectiveCoef(1, 1)
+			p.AddConstraint(EQ, -2, Coef{0, -1}, Coef{1, -1})
+			return p
+		}, 2},
+		{"wide-bounds-mix", func() *Problem {
+			p := NewProblem(3)
+			p.SetObjectiveCoef(0, 1)
+			p.SetObjectiveCoef(1, 2)
+			p.SetObjectiveCoef(2, -1)
+			p.SetBounds(0, 0, 10)
+			p.SetBounds(1, 2, 6)
+			p.SetBounds(2, 1, 3)
+			p.AddConstraint(EQ, 8, Coef{0, 1}, Coef{1, 1}, Coef{2, 1})
+			p.AddConstraint(GE, 3, Coef{0, 1}, Coef{2, 1})
+			return p
+		}, 4},
+	}
+}
+
+// TestSparseMatchesDenseOnFixtures solves every hand-written fixture with
+// both solvers and checks both against the recorded optimum within 1e-6.
+func TestSparseMatchesDenseOnFixtures(t *testing.T) {
+	for _, f := range fixtureProblems() {
+		sparse, err := f.mk().SolveOpts(Options{})
+		if err != nil {
+			t.Fatalf("%s: sparse: %v", f.name, err)
+		}
+		dense, err := f.mk().SolveOpts(Options{Dense: true})
+		if err != nil {
+			t.Fatalf("%s: dense: %v", f.name, err)
+		}
+		if sparse.Status != Optimal || dense.Status != Optimal {
+			t.Fatalf("%s: status sparse=%v dense=%v", f.name, sparse.Status, dense.Status)
+		}
+		if math.Abs(sparse.Objective-f.want) > 1e-6 {
+			t.Fatalf("%s: sparse objective %.9f, want %.9f", f.name, sparse.Objective, f.want)
+		}
+		if math.Abs(sparse.Objective-dense.Objective) > 1e-6 {
+			t.Fatalf("%s: sparse %.9f != dense %.9f", f.name, sparse.Objective, dense.Objective)
+		}
+	}
+}
+
+// randomCovering draws a covering LP shaped like the stress fixtures of
+// lp_stress_test.go.
+func randomCovering(seed uint64) *Problem {
+	rng := stats.NewRNG(seed)
+	nVars := 40 + rng.Intn(120)
+	nCover := 20 + rng.Intn(60)
+	p := NewProblem(nVars)
+	for j := 0; j < nVars; j++ {
+		p.SetObjectiveCoef(j, rng.Range(0.5, 2))
+		p.SetBounds(j, 0, 1)
+	}
+	for r := 0; r < nCover; r++ {
+		coefs := make([]Coef, 0, 8)
+		for c := 0; c < 8; c++ {
+			coefs = append(coefs, Coef{rng.Intn(nVars), rng.Range(0.5, 2)})
+		}
+		p.AddConstraint(GE, rng.Range(0.5, 2.5), coefs...)
+	}
+	return p
+}
+
+// randomMixed draws an LP with a mix of relations, negative coefficients,
+// and shifted/finite bounds to exercise every construction path.
+func randomMixed(seed uint64) *Problem {
+	rng := stats.NewRNG(seed)
+	nVars := 5 + rng.Intn(12)
+	p := NewProblem(nVars)
+	for j := 0; j < nVars; j++ {
+		p.SetObjectiveCoef(j, rng.Range(-2, 2))
+		lo := rng.Range(0, 1)
+		p.SetBounds(j, lo, lo+rng.Range(0.5, 2))
+	}
+	nRows := 3 + rng.Intn(8)
+	for r := 0; r < nRows; r++ {
+		coefs := make([]Coef, 0, nVars)
+		for j := 0; j < nVars; j++ {
+			if rng.Bernoulli(0.6) {
+				coefs = append(coefs, Coef{j, rng.Range(-1, 1)})
+			}
+		}
+		if len(coefs) == 0 {
+			coefs = append(coefs, Coef{0, 1})
+		}
+		rel := LE
+		switch {
+		case rng.Bernoulli(0.3):
+			rel = GE
+		case rng.Bernoulli(0.2):
+			rel = EQ
+		}
+		p.AddConstraint(rel, rng.Range(-1, 3), coefs...)
+	}
+	return p
+}
+
+// TestSparseMatchesDenseRandom cross-checks both solvers on a few hundred
+// random LPs: identical statuses, objectives within 1e-6, and feasible
+// points from both.
+func TestSparseMatchesDenseRandom(t *testing.T) {
+	for trial := 0; trial < 150; trial++ {
+		var mk func(uint64) *Problem
+		if trial%2 == 0 {
+			mk = randomMixed
+		} else {
+			mk = randomCovering
+		}
+		seed := uint64(1000 + trial)
+		sparse, err := mk(seed).SolveOpts(Options{})
+		if err != nil {
+			t.Fatalf("trial %d: sparse: %v", trial, err)
+		}
+		pd := mk(seed)
+		dense, err := pd.SolveOpts(Options{Dense: true})
+		if err != nil {
+			t.Fatalf("trial %d: dense: %v", trial, err)
+		}
+		if sparse.Status != dense.Status {
+			t.Fatalf("trial %d: status sparse=%v dense=%v", trial, sparse.Status, dense.Status)
+		}
+		if sparse.Status != Optimal {
+			continue
+		}
+		if math.Abs(sparse.Objective-dense.Objective) > 1e-6 {
+			t.Fatalf("trial %d: sparse %.9f != dense %.9f", trial, sparse.Objective, dense.Objective)
+		}
+		if err := pd.CheckFeasible(sparse.X, 1e-6); err != nil {
+			t.Fatalf("trial %d: sparse point infeasible: %v", trial, err)
+		}
+	}
+}
+
+// TestPartialPricingMatchesDantzig: the pricing rule changes the pivot
+// path, never the optimum.
+func TestPartialPricingMatchesDantzig(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		seed := uint64(7000 + trial)
+		full, err := randomCovering(seed).SolveOpts(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		part, err := randomCovering(seed).SolveOpts(Options{Pricing: PartialPricing})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full.Status != part.Status {
+			t.Fatalf("trial %d: status %v vs %v", trial, full.Status, part.Status)
+		}
+		if full.Status == Optimal && math.Abs(full.Objective-part.Objective) > 1e-6 {
+			t.Fatalf("trial %d: %.9f vs %.9f", trial, full.Objective, part.Objective)
+		}
+	}
+}
+
+// TestWarmStartAfterCostChange: re-solving with perturbed costs from the
+// previous basis must reach the same optimum as a cold solve, in fewer
+// iterations (the basis stays primal feasible, so phase 1 is skipped).
+func TestWarmStartAfterCostChange(t *testing.T) {
+	agg := struct{ warm, cold int }{}
+	for trial := 0; trial < 25; trial++ {
+		seed := uint64(3000 + trial)
+		p := randomCovering(seed)
+		first, err := p.Solve()
+		if err != nil || first.Status != Optimal {
+			t.Fatalf("trial %d: first solve %v %v", trial, first.Status, err)
+		}
+		if first.Basis == nil {
+			t.Fatalf("trial %d: optimal solve returned nil basis", trial)
+		}
+		// Perturb a third of the costs.
+		rng := stats.NewRNG(seed ^ 0xfeed)
+		for j := 0; j < p.NumVars(); j++ {
+			if rng.Bernoulli(0.33) {
+				p.AddObjectiveCoef(j, rng.Range(-0.2, 0.2))
+			}
+		}
+		warm, err := p.SolveOpts(Options{WarmStart: first.Basis})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := p.SolveOpts(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm.Status != Optimal || cold.Status != Optimal {
+			t.Fatalf("trial %d: status warm=%v cold=%v", trial, warm.Status, cold.Status)
+		}
+		if math.Abs(warm.Objective-cold.Objective) > 1e-6 {
+			t.Fatalf("trial %d: warm %.9f != cold %.9f", trial, warm.Objective, cold.Objective)
+		}
+		agg.warm += warm.Iterations
+		agg.cold += cold.Iterations
+	}
+	if agg.warm >= agg.cold {
+		t.Fatalf("warm starts did not reduce total iterations: warm=%d cold=%d", agg.warm, agg.cold)
+	}
+	t.Logf("total iterations: warm=%d cold=%d", agg.warm, agg.cold)
+}
+
+// TestWarmStartAfterBoundChange mimics a branch-and-bound dive: fix a
+// fractional basic variable to an integer bound and re-solve warm. The
+// parent basis is primal infeasible but dual feasible, so the dual simplex
+// path must reach the cold optimum.
+func TestWarmStartAfterBoundChange(t *testing.T) {
+	checked := 0
+	for trial := 0; trial < 40 && checked < 15; trial++ {
+		seed := uint64(5000 + trial)
+		p := randomCovering(seed)
+		first, err := p.Solve()
+		if err != nil || first.Status != Optimal {
+			continue
+		}
+		// Find a fractional variable to "branch" on.
+		branch := -1
+		for j := 0; j < p.NumVars(); j++ {
+			if first.X[j] > 0.2 && first.X[j] < 0.8 {
+				branch = j
+				break
+			}
+		}
+		if branch < 0 {
+			continue
+		}
+		for _, side := range []float64{0, 1} {
+			p.SetBounds(branch, side, side)
+			warm, err := p.SolveOpts(Options{WarmStart: first.Basis})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := p.SolveOpts(Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if warm.Status != cold.Status {
+				t.Fatalf("trial %d side %v: status warm=%v cold=%v", trial, side, warm.Status, cold.Status)
+			}
+			if warm.Status == Optimal && math.Abs(warm.Objective-cold.Objective) > 1e-6 {
+				t.Fatalf("trial %d side %v: warm %.9f != cold %.9f", trial, side, warm.Objective, cold.Objective)
+			}
+			p.SetBounds(branch, 0, 1)
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no branchable fixtures found")
+	}
+}
+
+// TestWarmStartGarbageBasisDegrades: an incompatible or nonsense basis
+// must silently fall back to a cold solve.
+func TestWarmStartGarbageBasisDegrades(t *testing.T) {
+	p := randomCovering(42)
+	want, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []*Basis{
+		nil,
+		{NumVars: 1, NumRows: 1, ColStat: []int8{BasisBasic}},
+		{NumVars: p.NumVars(), NumRows: p.NumRows(),
+			ColStat: make([]int8, p.NumVars()+2*p.NumRows())}, // zero basic columns
+	}
+	for i, b := range cases {
+		got, err := p.SolveOpts(Options{WarmStart: b})
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got.Status != Optimal || math.Abs(got.Objective-want.Objective) > 1e-6 {
+			t.Fatalf("case %d: %v %.9f, want optimal %.9f", i, got.Status, got.Objective, want.Objective)
+		}
+	}
+}
+
+// TestWarmStartSameProblemFewIterations: warm-starting the identical
+// problem from its own optimal basis must terminate almost immediately.
+func TestWarmStartSameProblemFewIterations(t *testing.T) {
+	p := randomCovering(99)
+	first, err := p.Solve()
+	if err != nil || first.Status != Optimal {
+		t.Fatalf("%v %v", first.Status, err)
+	}
+	again, err := p.SolveOpts(Options{WarmStart: first.Basis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Status != Optimal || math.Abs(again.Objective-first.Objective) > 1e-9 {
+		t.Fatalf("re-solve: %v %.12f, want %.12f", again.Status, again.Objective, first.Objective)
+	}
+	if again.Iterations > 2 {
+		t.Fatalf("re-solve from optimal basis took %d iterations", again.Iterations)
+	}
+}
+
+// BenchmarkLPSparseVsDense pits the two solvers against each other on the
+// covering-LP family (see BenchmarkStageLPSolve in the repository root for
+// the overlay-relaxation comparison).
+func BenchmarkLPSparseVsDense(b *testing.B) {
+	bench := func(b *testing.B, opts Options) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := randomCovering(uint64(i % 8))
+			if _, err := p.SolveOpts(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("sparse", func(b *testing.B) { bench(b, Options{}) })
+	b.Run("dense", func(b *testing.B) { bench(b, Options{Dense: true}) })
+}

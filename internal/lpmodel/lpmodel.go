@@ -42,6 +42,11 @@ type Options struct {
 	// branch-and-bound solver, which adds the integrality by branching
 	// (the LP itself stays continuous).
 	Integral bool
+	// WarmStart seeds the simplex from a basis captured by a previous
+	// solve of a same-shaped model (same instance dimensions — costs may
+	// differ, as in churn re-optimization). Invalid bases degrade to a
+	// cold solve inside the solver.
+	WarmStart *lp.Basis
 }
 
 // DefaultOptions enables every feature present in the instance.
@@ -212,6 +217,9 @@ type FracSolution struct {
 	Cost float64
 	// Iterations reports simplex pivots (diagnostic for T7).
 	Iterations int
+	// Basis is the final simplex basis; feed it to Options.WarmStart to
+	// accelerate a re-solve of a same-shaped model.
+	Basis *lp.Basis
 }
 
 // Unpack converts a flat LP vector into a FracSolution.
@@ -239,10 +247,12 @@ func Unpack(in *netmodel.Instance, m *VarMap, x []float64, obj float64, iters in
 	return fs
 }
 
-// SolveLP builds and exactly solves the LP relaxation.
-func SolveLP(in *netmodel.Instance, opts Options) (*FracSolution, error) {
-	p, m := Build(in, opts)
-	sol, err := p.Solve()
+// SolveBuilt exactly solves an already-built relaxation of in (from
+// Build), optionally warm-started, and unpacks the optimum. Callers that
+// need the Problem itself — for row/variable counts or bound mutation —
+// build once and solve here; SolveLP wraps the common build-and-solve.
+func SolveBuilt(in *netmodel.Instance, p *lp.Problem, m *VarMap, warm *lp.Basis) (*FracSolution, error) {
+	sol, err := p.SolveOpts(lp.Options{WarmStart: warm})
 	if err != nil {
 		return nil, err
 	}
@@ -253,7 +263,15 @@ func SolveLP(in *netmodel.Instance, opts Options) (*FracSolution, error) {
 	default:
 		return nil, fmt.Errorf("lpmodel: LP solve ended with status %v", sol.Status)
 	}
-	return Unpack(in, m, sol.X, sol.Objective, sol.Iterations), nil
+	fs := Unpack(in, m, sol.X, sol.Objective, sol.Iterations)
+	fs.Basis = sol.Basis
+	return fs, nil
+}
+
+// SolveLP builds and exactly solves the LP relaxation.
+func SolveLP(in *netmodel.Instance, opts Options) (*FracSolution, error) {
+	p, m := Build(in, opts)
+	return SolveBuilt(in, p, m, opts.WarmStart)
 }
 
 // Cost evaluates the §2 objective for a structured fractional solution.

@@ -13,6 +13,15 @@
 // when ISP color constraints (§6.4) or reflector–sink capacities (§6.3) are
 // present.
 //
+// The LP relaxation is solved exactly by a sparse, warm-startable revised
+// simplex (internal/lp): the constraint matrix is held in compressed
+// column form, the basis inverse as an eta file with periodic
+// refactorization, and re-solves of a churned instance (Reoptimize) or of
+// branch-and-bound children (ExactDesign) restart from the previous basis
+// instead of from scratch. Solve itself runs as an instrumented staged
+// pipeline — LP build/solve, rounding, integralization, repair, audit —
+// with per-stage wall time and allocation counters in SolveResult.Stages.
+//
 // A typical use:
 //
 //	in := overlay.NewClusteredInstance(overlay.DefaultClusteredConfig(2, 3, 2, 8), 1)
