@@ -13,6 +13,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/gapflow"
 	"repro/internal/gen"
+	"repro/internal/live"
 	"repro/internal/lp"
 	"repro/internal/lpmodel"
 	"repro/internal/round"
@@ -54,6 +55,10 @@ func BenchmarkT15CorrelatedOutages(b *testing.B)   { runExp(b, "T15") }
 func BenchmarkA1CuttingPlaneAblation(b *testing.B) { runExp(b, "A1") }
 func BenchmarkA2GapVsPathRounding(b *testing.B)    { runExp(b, "A2") }
 func BenchmarkA3RepairCost(b *testing.B)           { runExp(b, "A3") }
+func BenchmarkL1FlashCrowd(b *testing.B)           { runExp(b, "L1") }
+func BenchmarkL2DiurnalStickiness(b *testing.B)    { runExp(b, "L2") }
+func BenchmarkL3RollingISPOutage(b *testing.B)     { runExp(b, "L3") }
+func BenchmarkL4BackboneRepricing(b *testing.B)    { runExp(b, "L4") }
 
 // --- micro-benchmarks of the pipeline stages ---
 
@@ -142,6 +147,30 @@ func BenchmarkEndToEndSolve(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Solve(in, core.DefaultOptions(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLiveTimelineWarm measures a full 20-epoch flash-crowd timeline
+// under the warm+sticky policy — the live engine's steady-state workload.
+func BenchmarkLiveTimelineWarm(b *testing.B) {
+	sc := live.FlashCrowd(1, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := live.Run(sc, live.Config{Policy: live.WarmStickyPolicy()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLiveTimelineCold is the same timeline with cold re-solves — the
+// ratio against BenchmarkLiveTimelineWarm is the engine's headline speedup.
+func BenchmarkLiveTimelineCold(b *testing.B) {
+	sc := live.FlashCrowd(1, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := live.Run(sc, live.Config{Policy: live.ColdPolicy()}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -56,6 +56,11 @@ type Options struct {
 	// simplex iterations when re-solving after churn. Invalid bases
 	// degrade to a cold solve.
 	WarmStart *lp.Basis
+	// LPFixedShape builds the LP with one covering row per sink even for
+	// zero-demand sinks, pinning the LP shape to the instance dimensions
+	// so warm bases survive sink join/leave churn (see lpmodel.Options.
+	// FixedShape). The live engine sets this; static solves don't need it.
+	LPFixedShape bool
 	// StageMemStats additionally records per-stage allocation counters
 	// in Result.Stages. Off by default: the underlying
 	// runtime.ReadMemStats calls briefly stop the world.
@@ -120,6 +125,7 @@ func lpStages() []Stage {
 		{Name: "lp-build", Run: func(ps *pipelineState) error {
 			lpOpts := lpmodel.DefaultOptions(ps.in)
 			lpOpts.CuttingPlane = !ps.opts.DisableCuttingPlane
+			lpOpts.FixedShape = ps.opts.LPFixedShape
 			ps.prob, ps.vm = lpmodel.Build(ps.in, lpOpts)
 			return nil
 		}},
@@ -257,7 +263,7 @@ func Solve(in *netmodel.Instance, opts Options) (*Result, error) {
 		if best == nil || betterResult(cand, best) {
 			best = cand
 		}
-		if meetsGuarantee(ps.audit, ps.usePath) {
+		if MeetsGuarantee(ps.audit, ps.usePath) {
 			return cand, nil
 		}
 	}
@@ -265,11 +271,12 @@ func Solve(in *netmodel.Instance, opts Options) (*Result, error) {
 	return best, nil
 }
 
-// meetsGuarantee checks the paper's end-to-end bounds: every sink keeps at
+// MeetsGuarantee checks the paper's end-to-end bounds: every sink keeps at
 // least a quarter of its weight demand and no reflector exceeds 4× fanout
 // (§5 summary). Path rounding promises additive-7 violations instead of the
-// multiplicative-4 fanout bound, so accept either form there.
-func meetsGuarantee(a netmodel.Audit, pathRounding bool) bool {
+// multiplicative-4 fanout bound, so accept either form there. The live
+// engine uses it to certify every epoch's design.
+func MeetsGuarantee(a netmodel.Audit, pathRounding bool) bool {
 	if a.WeightFactor < 0.25-1e-9 {
 		return false
 	}

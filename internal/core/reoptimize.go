@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/netmodel"
 )
 
@@ -29,9 +31,13 @@ type ReoptimizeResult struct {
 //
 // The returned audit and cost are evaluated against the TRUE (undiscounted)
 // instance — the bias only steers the optimization.
+//
+// stickiness outside [0,1) is an error: 1 would zero the costs of the prior
+// design (freezing it regardless of how the network moved) and negative
+// values would penalize it, neither of which is a meaningful bias.
 func Reoptimize(in *netmodel.Instance, prior *netmodel.Design, stickiness float64, opts Options) (*ReoptimizeResult, error) {
 	if stickiness < 0 || stickiness >= 1 {
-		stickiness = 0
+		return nil, fmt.Errorf("core: stickiness %g outside [0,1)", stickiness)
 	}
 	work := in
 	if prior != nil && stickiness > 0 {

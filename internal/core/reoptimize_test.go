@@ -78,14 +78,23 @@ func TestReoptimizeAuditUsesTrueCosts(t *testing.T) {
 	}
 }
 
-func TestReoptimizeInvalidStickinessIgnored(t *testing.T) {
+func TestReoptimizeInvalidStickinessRejected(t *testing.T) {
 	in := gen.Uniform(gen.DefaultUniform(1, 4, 6), 4)
 	base, err := Solve(in, DefaultOptions(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Reoptimize(in, base.Design, 1.5, DefaultOptions(1)); err != nil {
-		t.Fatalf("out-of-range stickiness must degrade to 0, got error %v", err)
+	for _, s := range []float64{-0.1, 1, 1.5} {
+		if _, err := Reoptimize(in, base.Design, s, DefaultOptions(1)); err == nil {
+			t.Fatalf("stickiness %g must be rejected", s)
+		}
+	}
+	// The boundary values of the valid range still work.
+	if _, err := Reoptimize(in, base.Design, 0, DefaultOptions(1)); err != nil {
+		t.Fatalf("stickiness 0 rejected: %v", err)
+	}
+	if _, err := Reoptimize(in, base.Design, 0.999, DefaultOptions(1)); err != nil {
+		t.Fatalf("stickiness 0.999 rejected: %v", err)
 	}
 }
 

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"repro/internal/lp"
+	"repro/internal/netmodel"
+)
+
+// Session is the re-solve loop of the §1.3 monitoring cycle: it carries the
+// deployed design and the last simplex basis from epoch to epoch, so each
+// Step is an incremental re-optimization instead of a cold solve. The live
+// engine drives one Session per policy across a scenario timeline.
+//
+// A Session always solves with a fixed-shape LP (Options.LPFixedShape), so
+// the carried basis stays warm-start compatible while sinks join and leave.
+type Session struct {
+	// Stickiness is the cost discount applied to the deployed design on
+	// every Step (see Reoptimize); must be in [0,1).
+	Stickiness float64
+	// WarmStart re-seeds each Step's simplex from the previous Step's
+	// final basis. Off means every epoch solves the LP from scratch.
+	WarmStart bool
+
+	opts  Options
+	prior *netmodel.Design
+	basis *lp.Basis
+	steps int
+}
+
+// NewSession returns a fresh session; the first Step is a cold solve.
+func NewSession(opts Options, stickiness float64, warmStart bool) *Session {
+	opts.LPFixedShape = true
+	return &Session{Stickiness: stickiness, WarmStart: warmStart, opts: opts}
+}
+
+// Steps returns how many epochs the session has solved.
+func (s *Session) Steps() int { return s.steps }
+
+// Deployed returns the currently deployed design (nil before the first Step).
+func (s *Session) Deployed() *netmodel.Design { return s.prior }
+
+// Step re-optimizes against the instance's current state — the caller
+// applies the epoch's deltas to in beforehand — and deploys the result. The
+// returned churn counts compare against the previous epoch's design.
+func (s *Session) Step(in *netmodel.Instance) (*ReoptimizeResult, error) {
+	opts := s.opts
+	if s.WarmStart {
+		opts.WarmStart = s.basis
+	} else {
+		// A cold session must not inherit a caller-supplied basis either:
+		// cold means every epoch's simplex starts from scratch.
+		opts.WarmStart = nil
+	}
+	// Per-epoch seed decorrelates the randomized rounding across epochs
+	// while keeping the whole timeline a pure function of the base seed.
+	// The mixing constant deliberately differs from Solve's per-retry
+	// increment so (epoch, attempt) pairs never replay each other's seeds.
+	opts.Seed = s.opts.Seed + uint64(s.steps)*0xbf58476d1ce4e5b9
+	// With no prior deployment Reoptimize applies no bias; the stickiness
+	// still gets range-checked there, so an invalid policy fails on the
+	// first step instead of being silently coerced.
+	res, err := Reoptimize(in, s.prior, s.Stickiness, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.prior = res.Design
+	s.basis = res.WarmStartBasis()
+	s.steps++
+	return res, nil
+}

@@ -86,5 +86,9 @@ func All() []Experiment {
 		{"A1", "Ablation: constraint (4) cutting plane on/off", A1CuttingPlaneAblation},
 		{"A2", "Ablation: §5 GAP flow vs §6.5 path rounding", A2GapVsPathRounding},
 		{"A3", "Coverage repair: W/4 guarantee → full demand", A3RepairCost},
+		{"L1", "Live: flash crowd, cold vs warm+sticky re-solves", L1FlashCrowd},
+		{"L2", "Live: diurnal wave, stickiness vs churn", L2DiurnalStickiness},
+		{"L3", "Live: rolling ISP outages, availability", L3RollingISPOutage},
+		{"L4", "Live: backbone failure & repricing, cost tracking", L4BackboneAndRepricing},
 	}
 }

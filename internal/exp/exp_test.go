@@ -50,3 +50,19 @@ func TestT1GuaranteesHold(t *testing.T) {
 		t.Fatalf("end-to-end guarantee violated:\n%s", tb.String())
 	}
 }
+
+// TestLSeriesClaimsHold runs the live-engine experiments and asserts every
+// certified claim column reports YES (audits pass, warm speedup floor met,
+// churn monotone in stickiness).
+func TestLSeriesClaimsHold(t *testing.T) {
+	cfg := QuickConfig()
+	for _, e := range All() {
+		if !strings.HasPrefix(e.ID, "L") {
+			continue
+		}
+		tb := e.Run(cfg)
+		if strings.Contains(tb.String(), "NO") {
+			t.Fatalf("%s claim violated:\n%s", e.ID, tb.String())
+		}
+	}
+}

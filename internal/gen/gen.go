@@ -115,8 +115,56 @@ func DefaultClustered(sources, regions, isps, sinksPerRegion int) ClusteredConfi
 	}
 }
 
+// Layout exposes the deterministic placement of a Clustered instance:
+// which region each reflector and sink lives in, and each reflector's ISP.
+// Scenario generators (flash crowds per region, rolling per-ISP outages,
+// backbone failures between regions) key their events off it.
+type Layout struct {
+	RefRegion  []int // region of reflector i
+	RefISP     []int // ISP (= color) of reflector i
+	SinkRegion []int // region of sink j
+	// SrcRegion is each source's home region. Unlike the fields above it
+	// is seed-dependent, so only ClusteredWithLayout fills it;
+	// ClusteredLayout leaves it nil.
+	SrcRegion []int
+}
+
+// ClusteredLayout reconstructs the placement Clustered uses for cfg. It is
+// a pure function of the config (the layout is deterministic; only costs,
+// losses and commodities are random), so it matches any seed.
+func ClusteredLayout(cfg ClusteredConfig) Layout {
+	R := cfg.Regions * cfg.ISPs * cfg.ReflectorsPerColo
+	D := cfg.Regions * cfg.SinksPerRegion
+	l := Layout{
+		RefRegion:  make([]int, R),
+		RefISP:     make([]int, R),
+		SinkRegion: make([]int, D),
+	}
+	i := 0
+	for reg := 0; reg < cfg.Regions; reg++ {
+		for isp := 0; isp < cfg.ISPs; isp++ {
+			for c := 0; c < cfg.ReflectorsPerColo; c++ {
+				l.RefRegion[i] = reg
+				l.RefISP[i] = isp
+				i++
+			}
+		}
+	}
+	for j := 0; j < D; j++ {
+		l.SinkRegion[j] = j / cfg.SinksPerRegion
+	}
+	return l
+}
+
 // Clustered draws an Akamai-like instance. Reflector i has color = its ISP.
 func Clustered(cfg ClusteredConfig, seed uint64) *netmodel.Instance {
+	in, _ := ClusteredWithLayout(cfg, seed)
+	return in
+}
+
+// ClusteredWithLayout is Clustered plus the placement it drew, including
+// the seed-dependent source home regions.
+func ClusteredWithLayout(cfg ClusteredConfig, seed uint64) (*netmodel.Instance, Layout) {
 	rng := stats.NewRNG(seed)
 	R := cfg.Regions * cfg.ISPs * cfg.ReflectorsPerColo
 	D := cfg.Regions * cfg.SinksPerRegion
@@ -125,18 +173,13 @@ func Clustered(cfg ClusteredConfig, seed uint64) *netmodel.Instance {
 	in.Color = make([]int, R)
 	in.NumColors = cfg.ISPs
 
-	refRegion := make([]int, R)
-	i := 0
-	for reg := 0; reg < cfg.Regions; reg++ {
-		for isp := 0; isp < cfg.ISPs; isp++ {
-			for c := 0; c < cfg.ReflectorsPerColo; c++ {
-				refRegion[i] = reg
-				in.Color[i] = isp
-				in.ReflectorCost[i] = cfg.ReflectorBuildCost * rng.Range(0.8, 1.2)
-				in.Fanout[i] = float64(cfg.Fanout)
-				i++
-			}
-		}
+	// One placement source of truth: the deterministic layout.
+	l := ClusteredLayout(cfg)
+	refRegion := l.RefRegion
+	for i := 0; i < R; i++ {
+		in.Color[i] = l.RefISP[i]
+		in.ReflectorCost[i] = cfg.ReflectorBuildCost * rng.Range(0.8, 1.2)
+		in.Fanout[i] = float64(cfg.Fanout)
 	}
 	// Each source lives in a home region.
 	srcRegion := make([]int, cfg.Sources)
@@ -164,14 +207,7 @@ func Clustered(cfg ClusteredConfig, seed uint64) *netmodel.Instance {
 			}
 		}
 	}
-	sinkRegion := make([]int, D)
-	j := 0
-	for reg := 0; reg < cfg.Regions; reg++ {
-		for s := 0; s < cfg.SinksPerRegion; s++ {
-			sinkRegion[j] = reg
-			j++
-		}
-	}
+	sinkRegion := l.SinkRegion
 	for r := 0; r < R; r++ {
 		for j := 0; j < D; j++ {
 			if refRegion[r] == sinkRegion[j] {
@@ -198,7 +234,8 @@ func Clustered(cfg ClusteredConfig, seed uint64) *netmodel.Instance {
 		}
 		in.Threshold[j] = cfg.Threshold
 	}
-	return in
+	l.SrcRegion = srcRegion
+	return in, l
 }
 
 // SetCoverConfig embeds a set-cover instance: reflectors are sets, sinks are
@@ -291,11 +328,4 @@ func MacWorld(cfg MacWorldConfig, seed uint64) *netmodel.Instance {
 	in := Clustered(cl, seed)
 	in.Name = fmt.Sprintf("macworld-%d", seed)
 	return in
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -135,3 +135,32 @@ func TestWeightDemandRelation(t *testing.T) {
 	}
 	var _ = netmodel.ProbEps
 }
+
+func TestClusteredLayoutMatchesInstance(t *testing.T) {
+	cfg := DefaultClustered(2, 3, 3, 6)
+	cfg.ReflectorsPerColo = 2
+	in := Clustered(cfg, 42)
+	l := ClusteredLayout(cfg)
+	if len(l.RefRegion) != in.NumReflectors || len(l.SinkRegion) != in.NumSinks {
+		t.Fatalf("layout shape %dx%d, instance %dx%d",
+			len(l.RefRegion), len(l.SinkRegion), in.NumReflectors, in.NumSinks)
+	}
+	// ISP assignment must agree with the instance's colors.
+	for i, isp := range l.RefISP {
+		if in.Color[i] != isp {
+			t.Fatalf("reflector %d: layout ISP %d != color %d", i, isp, in.Color[i])
+		}
+	}
+	// Region assignment must agree with the cost structure: intra-region
+	// arcs draw from IntraCost·[0.8,1.2], inter-region from InterCost·
+	// [0.8,1.2], and the ranges don't overlap for the default 1 vs 5.
+	cut := (1.2*cfg.IntraCost + 0.8*cfg.InterCost) / 2
+	for i := range l.RefRegion {
+		for j := range l.SinkRegion {
+			intra := l.RefRegion[i] == l.SinkRegion[j]
+			if cheap := in.RefSinkCost[i][j] < cut; cheap != intra {
+				t.Fatalf("arc (%d,%d): layout intra=%v but cost %g", i, j, intra, in.RefSinkCost[i][j])
+			}
+		}
+	}
+}

@@ -1,0 +1,355 @@
+package live
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/gen"
+	"repro/internal/netmodel"
+	"repro/internal/stats"
+)
+
+// TopoConfig shapes the clustered topology the scenario library builds on
+// (gen.Clustered: regions × ISPs colos, Akamai-like cost/loss structure).
+type TopoConfig struct {
+	Sources, Regions, ISPs, SinksPerRegion int
+	// Threshold overrides the per-sink success target (0 keeps gen's).
+	Threshold float64
+	// FanoutSlack scales gen's default fanout so designs survive losing a
+	// whole ISP or a flash crowd without the LP going infeasible.
+	FanoutSlack float64
+}
+
+// DefaultTopo is the standard live-scenario topology: 3 regions × 3 ISPs,
+// 24 sinks, 2 streams, 50% fanout headroom.
+func DefaultTopo() TopoConfig {
+	return TopoConfig{Sources: 2, Regions: 3, ISPs: 3, SinksPerRegion: 8, FanoutSlack: 1.5}
+}
+
+// instance draws the base topology plus its deterministic layout.
+func (tc TopoConfig) instance(seed uint64) (*netmodel.Instance, gen.ClusteredConfig, gen.Layout) {
+	cc := gen.DefaultClustered(tc.Sources, tc.Regions, tc.ISPs, tc.SinksPerRegion)
+	if tc.Threshold > 0 {
+		cc.Threshold = tc.Threshold
+	}
+	if tc.FanoutSlack > 0 {
+		cc.Fanout = int(float64(cc.Fanout)*tc.FanoutSlack + 0.5)
+	}
+	in, l := gen.ClusteredWithLayout(cc, seed)
+	return in, cc, l
+}
+
+// FlashCrowd builds the breaking-news workload: one region's audience is
+// mostly offline at first, then joins in three waves over consecutive
+// epochs, stays through the event, and leaves in two waves — against a
+// background of mild cost repricing. The §1 MacWorld keynote is exactly
+// this shape.
+func FlashCrowd(seed uint64, epochs int) *Scenario {
+	tc := DefaultTopo()
+	in, cc, l := tc.instance(seed)
+	rng := stats.NewRNG(seed ^ 0xf1a5c404d)
+	flashReg := rng.Intn(cc.Regions)
+
+	// The crowd: flash-region sinks initially offline (a 25% core stays).
+	var crowd []int
+	for j, reg := range l.SinkRegion {
+		if reg == flashReg && !rng.Bernoulli(0.25) {
+			in.Threshold[j] = 0
+			crowd = append(crowd, j)
+		}
+	}
+	sc := &Scenario{Name: "flashcrowd", Seed: seed, Epochs: epochs, Base: in}
+
+	joinStart := max(1, epochs/5)
+	const joinWaves = 3
+	for w := 0; w < joinWaves; w++ {
+		e := joinStart + w
+		if e >= epochs {
+			break
+		}
+		lo, hi := w*len(crowd)/joinWaves, (w+1)*len(crowd)/joinWaves
+		d := netmodel.Delta{Note: fmt.Sprintf("flash join wave %d/%d (region %d)", w+1, joinWaves, flashReg)}
+		for _, j := range crowd[lo:hi] {
+			d.SetThreshold = append(d.SetThreshold, netmodel.SinkValue{Sink: j, Value: cc.Threshold})
+		}
+		sc.Events = append(sc.Events, Event{Epoch: e, Delta: d})
+	}
+	leaveStart := max(joinStart+joinWaves+1, 3*epochs/5)
+	const leaveWaves = 2
+	for w := 0; w < leaveWaves; w++ {
+		e := leaveStart + 2*w
+		if e >= epochs {
+			break
+		}
+		lo, hi := w*len(crowd)/leaveWaves, (w+1)*len(crowd)/leaveWaves
+		d := netmodel.Delta{Note: fmt.Sprintf("flash leave wave %d/%d", w+1, leaveWaves)}
+		for _, j := range crowd[lo:hi] {
+			d.SetThreshold = append(d.SetThreshold, netmodel.SinkValue{Sink: j, Value: 0})
+		}
+		sc.Events = append(sc.Events, Event{Epoch: e, Delta: d})
+	}
+	// Ambient repricing: every 5th epoch ~10% of delivery arcs move.
+	for e := 2; e < epochs; e += 5 {
+		d := netmodel.Delta{Note: fmt.Sprintf("ambient repricing @%d", e)}
+		for i := 0; i < in.NumReflectors; i++ {
+			for j := 0; j < in.NumSinks; j++ {
+				if rng.Bernoulli(0.1) {
+					d.ScaleRefSinkCost = append(d.ScaleRefSinkCost,
+						netmodel.ArcValue{A: i, B: j, Value: rng.Range(0.9, 1.15)})
+				}
+			}
+		}
+		sc.Events = append(sc.Events, Event{Epoch: e, Delta: d})
+	}
+	sortEvents(sc)
+	return sc
+}
+
+// DiurnalWave builds the follow-the-sun workload: each region's audience
+// swells and shrinks on a shared period, phase-shifted per region the way
+// timezones shift viewing hours. Nearly every epoch carries join and leave
+// churn somewhere.
+func DiurnalWave(seed uint64, epochs int) *Scenario {
+	tc := DefaultTopo()
+	in, cc, l := tc.instance(seed)
+	rng := stats.NewRNG(seed ^ 0xd1acb2a7e)
+
+	// Activation order within each region is a fixed seeded shuffle.
+	byRegion := make([][]int, cc.Regions)
+	for j, reg := range l.SinkRegion {
+		byRegion[reg] = append(byRegion[reg], j)
+	}
+	for reg := range byRegion {
+		perm := rng.Perm(len(byRegion[reg]))
+		shuffled := make([]int, len(perm))
+		for a, b := range perm {
+			shuffled[a] = byRegion[reg][b]
+		}
+		byRegion[reg] = shuffled
+	}
+	const period = 12.0
+	target := func(e, reg int) int {
+		phase := float64(e)/period + float64(reg)/float64(cc.Regions)
+		frac := 0.4 + 0.4*math.Sin(2*math.Pi*phase)
+		return int(frac*float64(cc.SinksPerRegion) + 0.5)
+	}
+
+	// Epoch-0 state lives in the base instance.
+	active := make([]int, cc.Regions)
+	for reg := range byRegion {
+		active[reg] = target(0, reg)
+		for idx, j := range byRegion[reg] {
+			if idx >= active[reg] {
+				in.Threshold[j] = 0
+			}
+		}
+	}
+	sc := &Scenario{Name: "diurnal", Seed: seed, Epochs: epochs, Base: in}
+	for e := 1; e < epochs; e++ {
+		d := netmodel.Delta{Note: fmt.Sprintf("diurnal shift @%d", e)}
+		for reg := range byRegion {
+			want := target(e, reg)
+			for idx := active[reg]; idx < want; idx++ { // joins
+				d.SetThreshold = append(d.SetThreshold,
+					netmodel.SinkValue{Sink: byRegion[reg][idx], Value: cc.Threshold})
+			}
+			for idx := want; idx < active[reg]; idx++ { // leaves
+				d.SetThreshold = append(d.SetThreshold,
+					netmodel.SinkValue{Sink: byRegion[reg][idx], Value: 0})
+			}
+			active[reg] = want
+		}
+		if !d.Empty() {
+			sc.Events = append(sc.Events, Event{Epoch: e, Delta: d})
+		}
+	}
+	return sc
+}
+
+// RollingISPOutage builds the §6.4 failure drill as a timeline: each ISP in
+// turn loses every reflector (fanout → 0) for a maintenance window, then
+// recovers, with measured link losses drifting in the background. Color
+// constraints mean each sink can keep at most one copy per surviving ISP,
+// so the threshold is eased to keep two-ISP service feasible.
+func RollingISPOutage(seed uint64, epochs int) *Scenario {
+	tc := DefaultTopo()
+	tc.Threshold = 0.97
+	in, cc, l := tc.instance(seed)
+	rng := stats.NewRNG(seed ^ 0x901a11ed)
+	sc := &Scenario{Name: "rollingisp", Seed: seed, Epochs: epochs, Base: in}
+
+	w := max(2, epochs/8)
+	gap := max(w+2, epochs/(cc.ISPs+1))
+	for isp := 0; isp < cc.ISPs; isp++ {
+		start := 2 + isp*gap
+		if start+w >= epochs {
+			break
+		}
+		fail := netmodel.Delta{Note: fmt.Sprintf("ISP %d outage", isp)}
+		restore := netmodel.Delta{Note: fmt.Sprintf("ISP %d recovered", isp)}
+		for i, ispOf := range l.RefISP {
+			if ispOf != isp {
+				continue
+			}
+			fail.SetFanout = append(fail.SetFanout, netmodel.RefValue{Ref: i, Value: 0})
+			restore.SetFanout = append(restore.SetFanout, netmodel.RefValue{Ref: i, Value: in.Fanout[i]})
+		}
+		sc.Events = append(sc.Events,
+			Event{Epoch: start, Delta: fail},
+			Event{Epoch: start + w, Delta: restore})
+	}
+	// Loss drift: every 3rd epoch re-measures ~10% of delivery links around
+	// their original loss (bounded, so drift never compounds to 1).
+	for e := 1; e < epochs; e += 3 {
+		d := netmodel.Delta{Note: fmt.Sprintf("loss drift @%d", e)}
+		for i := 0; i < in.NumReflectors; i++ {
+			for j := 0; j < in.NumSinks; j++ {
+				if rng.Bernoulli(0.1) {
+					v := in.RefSinkLoss[i][j] * rng.Range(0.7, 1.4)
+					d.SetRefSinkLoss = append(d.SetRefSinkLoss,
+						netmodel.ArcValue{A: i, B: j, Value: math.Min(v, 0.5)})
+				}
+			}
+		}
+		sc.Events = append(sc.Events, Event{Epoch: e, Delta: d})
+	}
+	sortEvents(sc)
+	return sc
+}
+
+// CorrelatedBackboneFailure builds the §1.4-style correlated incident: all
+// inter-region links degrade at once (the shared backbone, not independent
+// last-mile noise), sinks watching a remote-origin stream drop to a
+// degraded quality target for the duration, and recovery restores measured
+// losses to their baseline.
+func CorrelatedBackboneFailure(seed uint64, epochs int) *Scenario {
+	tc := DefaultTopo()
+	in, cc, l := tc.instance(seed)
+	srcReg := l.SrcRegion
+	sc := &Scenario{Name: "backbone", Seed: seed, Epochs: epochs, Base: in}
+
+	addIncident := func(start, w int, factor float64, label string) {
+		if start < 1 || start+w >= epochs {
+			return
+		}
+		fail := netmodel.Delta{Note: "backbone failure " + label}
+		restore := netmodel.Delta{Note: "backbone recovered " + label}
+		for k := 0; k < in.NumSources; k++ {
+			for i := 0; i < in.NumReflectors; i++ {
+				if l.RefRegion[i] != srcReg[k] {
+					fail.ScaleSrcRefLoss = append(fail.ScaleSrcRefLoss,
+						netmodel.ArcValue{A: k, B: i, Value: factor})
+					restore.SetSrcRefLoss = append(restore.SetSrcRefLoss,
+						netmodel.ArcValue{A: k, B: i, Value: in.SrcRefLoss[k][i]})
+				}
+			}
+		}
+		for i := 0; i < in.NumReflectors; i++ {
+			for j := 0; j < in.NumSinks; j++ {
+				if l.RefRegion[i] != l.SinkRegion[j] {
+					fail.ScaleRefSinkLoss = append(fail.ScaleRefSinkLoss,
+						netmodel.ArcValue{A: i, B: j, Value: factor})
+					restore.SetRefSinkLoss = append(restore.SetRefSinkLoss,
+						netmodel.ArcValue{A: i, B: j, Value: in.RefSinkLoss[i][j]})
+				}
+			}
+		}
+		// Graceful degradation: remote-origin viewers accept lower quality
+		// while the backbone is impaired (keeps the LP feasible, mirrors
+		// real incident response).
+		for j := 0; j < in.NumSinks; j++ {
+			if srcReg[in.Commodity[j]] != l.SinkRegion[j] {
+				fail.SetThreshold = append(fail.SetThreshold,
+					netmodel.SinkValue{Sink: j, Value: 0.9})
+				restore.SetThreshold = append(restore.SetThreshold,
+					netmodel.SinkValue{Sink: j, Value: cc.Threshold})
+			}
+		}
+		sc.Events = append(sc.Events,
+			Event{Epoch: start, Delta: fail},
+			Event{Epoch: start + w, Delta: restore})
+	}
+	w := max(2, epochs/10)
+	addIncident(epochs/3, w, 3, "A")
+	if epochs >= 30 {
+		addIncident(2*epochs/3, w, 2, "B")
+	}
+	sortEvents(sc)
+	return sc
+}
+
+// GradualRepricing builds the slow-churn workload of §1.3's steady state:
+// no topology events at all, just transit and colocation prices moving a
+// little every epoch — the regime where sticky warm re-solves should keep
+// the deployed design almost unchanged at near-zero pivot cost.
+func GradualRepricing(seed uint64, epochs int) *Scenario {
+	tc := DefaultTopo()
+	in, _, _ := tc.instance(seed)
+	rng := stats.NewRNG(seed ^ 0x4e91ce)
+	sc := &Scenario{Name: "repricing", Seed: seed, Epochs: epochs, Base: in}
+	for e := 1; e < epochs; e++ {
+		d := netmodel.Delta{Note: fmt.Sprintf("repricing @%d", e)}
+		for i := 0; i < in.NumReflectors; i++ {
+			if rng.Bernoulli(0.2) {
+				d.ScaleReflectorCost = append(d.ScaleReflectorCost,
+					netmodel.RefValue{Ref: i, Value: rng.Range(0.95, 1.08)})
+			}
+			for j := 0; j < in.NumSinks; j++ {
+				if rng.Bernoulli(0.25) {
+					d.ScaleRefSinkCost = append(d.ScaleRefSinkCost,
+						netmodel.ArcValue{A: i, B: j, Value: rng.Range(0.92, 1.1)})
+				}
+			}
+		}
+		for k := 0; k < in.NumSources; k++ {
+			for i := 0; i < in.NumReflectors; i++ {
+				if rng.Bernoulli(0.2) {
+					d.ScaleSrcRefCost = append(d.ScaleSrcRefCost,
+						netmodel.ArcValue{A: k, B: i, Value: rng.Range(0.95, 1.08)})
+				}
+			}
+		}
+		if !d.Empty() {
+			sc.Events = append(sc.Events, Event{Epoch: e, Delta: d})
+		}
+	}
+	return sc
+}
+
+// makers is the scenario registry used by the CLI and the L-series
+// experiments.
+var makers = map[string]func(seed uint64, epochs int) *Scenario{
+	"flashcrowd": FlashCrowd,
+	"diurnal":    DiurnalWave,
+	"rollingisp": RollingISPOutage,
+	"backbone":   CorrelatedBackboneFailure,
+	"repricing":  GradualRepricing,
+}
+
+// Names lists the registered scenario names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(makers))
+	for n := range makers {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Make builds a registered scenario by name.
+func Make(name string, seed uint64, epochs int) (*Scenario, error) {
+	mk, ok := makers[name]
+	if !ok {
+		return nil, fmt.Errorf("live: unknown scenario %q (have %v)", name, Names())
+	}
+	return mk(seed, epochs), nil
+}
+
+// sortEvents orders a scenario's events by epoch, keeping the relative
+// order of same-epoch events stable.
+func sortEvents(sc *Scenario) {
+	sort.SliceStable(sc.Events, func(a, b int) bool {
+		return sc.Events[a].Epoch < sc.Events[b].Epoch
+	})
+}

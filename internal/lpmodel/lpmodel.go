@@ -47,6 +47,13 @@ type Options struct {
 	// differ, as in churn re-optimization). Invalid bases degrade to a
 	// cold solve inside the solver.
 	WarmStart *lp.Basis
+	// FixedShape emits the reliability covering row (5) for every sink,
+	// including zero-demand (inactive) ones, whose rows degenerate to the
+	// trivially satisfied 0 ≥ 0. This pins the LP shape to the instance
+	// dimensions alone, so a simplex basis stays warm-start compatible
+	// across sink join/leave churn (the live engine's workload). Off by
+	// default: static solves skip the dead rows.
+	FixedShape bool
 }
 
 // DefaultOptions enables every feature present in the instance.
@@ -164,6 +171,9 @@ func Build(in *netmodel.Instance, opts Options) (*lp.Problem, *VarMap) {
 	// (5) reliability covering with capped weights.
 	for j := 0; j < D; j++ {
 		if in.Threshold[j] <= 0 {
+			if opts.FixedShape {
+				p.AddConstraint(lp.GE, 0)
+			}
 			continue
 		}
 		coefs := make([]lp.Coef, 0, R)

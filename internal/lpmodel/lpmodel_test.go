@@ -217,3 +217,45 @@ func TestBuildRowCount(t *testing.T) {
 	}
 	var _ = lp.LE
 }
+
+func TestFixedShapePinsRowsAndOptimum(t *testing.T) {
+	in := gen.Uniform(gen.DefaultUniform(2, 4, 6), 11)
+	// Deactivate two sinks: the default build drops their covering rows,
+	// the fixed-shape build keeps degenerate 0 >= 0 rows in their place.
+	in.Threshold[1] = 0
+	in.Threshold[4] = 0
+	opts := DefaultOptions(in)
+	pDef, _ := Build(in, opts)
+	opts.FixedShape = true
+	pFix, _ := Build(in, opts)
+	if pFix.NumRows() != pDef.NumRows()+2 {
+		t.Fatalf("fixed-shape rows = %d, default = %d, want +2", pFix.NumRows(), pDef.NumRows())
+	}
+	// Shape must depend only on dimensions: reactivating every sink keeps
+	// the fixed-shape row count unchanged.
+	all := in.Clone()
+	all.Threshold[1] = 0.99
+	all.Threshold[4] = 0.99
+	pAll, _ := Build(all, Options{CuttingPlane: true, FixedShape: true})
+	if pAll.NumRows() != pFix.NumRows() {
+		t.Fatalf("row count moved with thresholds: %d vs %d", pAll.NumRows(), pFix.NumRows())
+	}
+	// The dead rows are inert: optima agree.
+	sDef, err := pDef.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sFix, err := pFix.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := sDef.Objective - sFix.Objective; diff > 1e-7 || diff < -1e-7 {
+		t.Fatalf("fixed-shape optimum %.9f != default %.9f", sFix.Objective, sDef.Objective)
+	}
+	// And a basis from one fixed-shape solve warm-starts the reactivated
+	// model (same shape) without error.
+	mopts := Options{CuttingPlane: true, FixedShape: true, WarmStart: sFix.Basis}
+	if _, err := SolveLP(all, mopts); err != nil {
+		t.Fatal(err)
+	}
+}

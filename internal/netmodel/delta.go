@@ -1,0 +1,178 @@
+package netmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Delta is an incremental change to an Instance: the unit of churn in the
+// §1.3 monitoring loop. Each field is a list of atomic edits (set a sink's
+// threshold, scale an arc's cost, ...) that Apply validates as a whole and
+// then applies in place. Deltas deliberately cannot change the instance
+// dimensions — the live re-optimization engine relies on the LP keeping its
+// shape across epochs so simplex bases stay warm-startable — so churn in
+// the sink population is expressed by toggling thresholds between 0
+// (inactive, no demand) and a positive target.
+type Delta struct {
+	// Note names the change for reports ("flashcrowd join wave 2/3").
+	Note string `json:"note,omitempty"`
+
+	// SetThreshold sets Threshold[Sink] = Value (sink join/leave; Value in
+	// [0,1), 0 means the sink demands nothing and is skipped by audits).
+	SetThreshold []SinkValue `json:"set_threshold,omitempty"`
+	// SetFanout sets Fanout[Ref] = Value (reflector failure at 0,
+	// recovery by restoring the original fanout).
+	SetFanout []RefValue `json:"set_fanout,omitempty"`
+	// ScaleReflectorCost multiplies ReflectorCost[Ref] by Value ≥ 0.
+	ScaleReflectorCost []RefValue `json:"scale_reflector_cost,omitempty"`
+	// ScaleSrcRefCost multiplies SrcRefCost[A][B] by Value ≥ 0 (A = source,
+	// B = reflector); ScaleRefSinkCost likewise with A = reflector, B = sink.
+	ScaleSrcRefCost  []ArcValue `json:"scale_src_ref_cost,omitempty"`
+	ScaleRefSinkCost []ArcValue `json:"scale_ref_sink_cost,omitempty"`
+	// SetSrcRefLoss / SetRefSinkLoss overwrite a link's loss probability
+	// (Value in [0,1]); ScaleSrcRefLoss / ScaleRefSinkLoss multiply it,
+	// saturating at 1 (loss drift, outages, recoveries).
+	SetSrcRefLoss    []ArcValue `json:"set_src_ref_loss,omitempty"`
+	SetRefSinkLoss   []ArcValue `json:"set_ref_sink_loss,omitempty"`
+	ScaleSrcRefLoss  []ArcValue `json:"scale_src_ref_loss,omitempty"`
+	ScaleRefSinkLoss []ArcValue `json:"scale_ref_sink_loss,omitempty"`
+}
+
+// SinkValue is an atomic per-sink edit.
+type SinkValue struct {
+	Sink  int     `json:"sink"`
+	Value float64 `json:"value"`
+}
+
+// RefValue is an atomic per-reflector edit.
+type RefValue struct {
+	Ref   int     `json:"ref"`
+	Value float64 `json:"value"`
+}
+
+// ArcValue is an atomic per-arc edit; the meaning of (A, B) depends on the
+// list it appears in (source→reflector or reflector→sink).
+type ArcValue struct {
+	A     int     `json:"a"`
+	B     int     `json:"b"`
+	Value float64 `json:"value"`
+}
+
+// Empty reports whether the delta edits nothing.
+func (d *Delta) Empty() bool {
+	return d.Size() == 0
+}
+
+// Size returns the number of atomic edits in the delta.
+func (d *Delta) Size() int {
+	return len(d.SetThreshold) + len(d.SetFanout) + len(d.ScaleReflectorCost) +
+		len(d.ScaleSrcRefCost) + len(d.ScaleRefSinkCost) +
+		len(d.SetSrcRefLoss) + len(d.SetRefSinkLoss) +
+		len(d.ScaleSrcRefLoss) + len(d.ScaleRefSinkLoss)
+}
+
+// Validate checks every edit against the instance's dimensions and value
+// ranges without applying anything.
+func (d *Delta) Validate(in *Instance) error {
+	S, R, D := in.Dims()
+	for _, e := range d.SetThreshold {
+		if e.Sink < 0 || e.Sink >= D {
+			return fmt.Errorf("netmodel: delta %q: threshold edit for unknown sink %d", d.Note, e.Sink)
+		}
+		if e.Value < 0 || e.Value >= 1 || math.IsNaN(e.Value) {
+			return fmt.Errorf("netmodel: delta %q: threshold %g for sink %d outside [0,1)", d.Note, e.Value, e.Sink)
+		}
+	}
+	for _, e := range d.SetFanout {
+		if e.Ref < 0 || e.Ref >= R {
+			return fmt.Errorf("netmodel: delta %q: fanout edit for unknown reflector %d", d.Note, e.Ref)
+		}
+		if e.Value < 0 || math.IsNaN(e.Value) || math.IsInf(e.Value, 0) {
+			return fmt.Errorf("netmodel: delta %q: bad fanout %g for reflector %d", d.Note, e.Value, e.Ref)
+		}
+	}
+	for _, e := range d.ScaleReflectorCost {
+		if e.Ref < 0 || e.Ref >= R {
+			return fmt.Errorf("netmodel: delta %q: cost edit for unknown reflector %d", d.Note, e.Ref)
+		}
+		if e.Value < 0 || math.IsNaN(e.Value) || math.IsInf(e.Value, 0) {
+			return fmt.Errorf("netmodel: delta %q: bad cost factor %g for reflector %d", d.Note, e.Value, e.Ref)
+		}
+	}
+	check := func(list []ArcValue, rows, cols int, kind string, isProb, isSet bool) error {
+		for _, e := range list {
+			if e.A < 0 || e.A >= rows || e.B < 0 || e.B >= cols {
+				return fmt.Errorf("netmodel: delta %q: %s edit for unknown arc (%d,%d)", d.Note, kind, e.A, e.B)
+			}
+			if math.IsNaN(e.Value) || e.Value < 0 {
+				return fmt.Errorf("netmodel: delta %q: bad %s value %g at (%d,%d)", d.Note, kind, e.Value, e.A, e.B)
+			}
+			if isProb && isSet && e.Value > 1 {
+				return fmt.Errorf("netmodel: delta %q: %s probability %g at (%d,%d) outside [0,1]", d.Note, kind, e.Value, e.A, e.B)
+			}
+			if math.IsInf(e.Value, 0) {
+				return fmt.Errorf("netmodel: delta %q: infinite %s value at (%d,%d)", d.Note, kind, e.A, e.B)
+			}
+		}
+		return nil
+	}
+	if err := check(d.ScaleSrcRefCost, S, R, "src-ref cost", false, false); err != nil {
+		return err
+	}
+	if err := check(d.ScaleRefSinkCost, R, D, "ref-sink cost", false, false); err != nil {
+		return err
+	}
+	if err := check(d.SetSrcRefLoss, S, R, "src-ref loss", true, true); err != nil {
+		return err
+	}
+	if err := check(d.SetRefSinkLoss, R, D, "ref-sink loss", true, true); err != nil {
+		return err
+	}
+	if err := check(d.ScaleSrcRefLoss, S, R, "src-ref loss", true, false); err != nil {
+		return err
+	}
+	return check(d.ScaleRefSinkLoss, R, D, "ref-sink loss", true, false)
+}
+
+// Apply validates the delta and applies it to the instance in place. On
+// error the instance is untouched. Scaled loss probabilities saturate at 1.
+func (d *Delta) Apply(in *Instance) error {
+	if err := d.Validate(in); err != nil {
+		return err
+	}
+	for _, e := range d.SetThreshold {
+		in.Threshold[e.Sink] = e.Value
+	}
+	for _, e := range d.SetFanout {
+		in.Fanout[e.Ref] = e.Value
+	}
+	for _, e := range d.ScaleReflectorCost {
+		in.ReflectorCost[e.Ref] *= e.Value
+	}
+	for _, e := range d.ScaleSrcRefCost {
+		in.SrcRefCost[e.A][e.B] *= e.Value
+	}
+	for _, e := range d.ScaleRefSinkCost {
+		in.RefSinkCost[e.A][e.B] *= e.Value
+	}
+	for _, e := range d.SetSrcRefLoss {
+		in.SrcRefLoss[e.A][e.B] = e.Value
+	}
+	for _, e := range d.SetRefSinkLoss {
+		in.RefSinkLoss[e.A][e.B] = e.Value
+	}
+	for _, e := range d.ScaleSrcRefLoss {
+		in.SrcRefLoss[e.A][e.B] = saturate1(in.SrcRefLoss[e.A][e.B] * e.Value)
+	}
+	for _, e := range d.ScaleRefSinkLoss {
+		in.RefSinkLoss[e.A][e.B] = saturate1(in.RefSinkLoss[e.A][e.B] * e.Value)
+	}
+	return nil
+}
+
+func saturate1(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,118 @@
+package netmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func deltaTestInstance() *Instance {
+	in := NewZeroInstance(2, 3, 4)
+	for i := 0; i < 3; i++ {
+		in.ReflectorCost[i] = 10
+		in.Fanout[i] = 4
+		for k := 0; k < 2; k++ {
+			in.SrcRefLoss[k][i] = 0.02
+			in.SrcRefCost[k][i] = 2
+		}
+		for j := 0; j < 4; j++ {
+			in.RefSinkLoss[i][j] = 0.03
+			in.RefSinkCost[i][j] = 1
+		}
+	}
+	for j := 0; j < 4; j++ {
+		in.Threshold[j] = 0.99
+	}
+	return in
+}
+
+func TestDeltaApply(t *testing.T) {
+	in := deltaTestInstance()
+	d := &Delta{
+		Note:               "test",
+		SetThreshold:       []SinkValue{{Sink: 1, Value: 0}, {Sink: 2, Value: 0.95}},
+		SetFanout:          []RefValue{{Ref: 0, Value: 0}},
+		ScaleReflectorCost: []RefValue{{Ref: 1, Value: 2}},
+		ScaleSrcRefCost:    []ArcValue{{A: 0, B: 1, Value: 0.5}},
+		ScaleRefSinkCost:   []ArcValue{{A: 2, B: 3, Value: 3}},
+		SetSrcRefLoss:      []ArcValue{{A: 1, B: 2, Value: 0.5}},
+		SetRefSinkLoss:     []ArcValue{{A: 0, B: 0, Value: 0.25}},
+		ScaleRefSinkLoss:   []ArcValue{{A: 1, B: 1, Value: 100}},
+	}
+	if d.Empty() || d.Size() != 9 {
+		t.Fatalf("Size = %d, want 9", d.Size())
+	}
+	if err := d.Apply(in); err != nil {
+		t.Fatal(err)
+	}
+	if in.Threshold[1] != 0 || in.Threshold[2] != 0.95 {
+		t.Fatalf("thresholds not applied: %v", in.Threshold)
+	}
+	if in.Fanout[0] != 0 {
+		t.Fatalf("fanout not applied: %v", in.Fanout)
+	}
+	if in.ReflectorCost[1] != 20 {
+		t.Fatalf("reflector cost = %v, want 20", in.ReflectorCost[1])
+	}
+	if in.SrcRefCost[0][1] != 1 || in.RefSinkCost[2][3] != 3 {
+		t.Fatal("arc costs not scaled")
+	}
+	if in.SrcRefLoss[1][2] != 0.5 || in.RefSinkLoss[0][0] != 0.25 {
+		t.Fatal("losses not set")
+	}
+	if in.RefSinkLoss[1][1] != 1 {
+		t.Fatalf("scaled loss must saturate at 1, got %v", in.RefSinkLoss[1][1])
+	}
+	// The edited instance must still validate.
+	if err := in.Validate(); err != nil {
+		t.Fatalf("instance invalid after delta: %v", err)
+	}
+}
+
+func TestDeltaRejectsAndLeavesUntouched(t *testing.T) {
+	cases := []Delta{
+		{SetThreshold: []SinkValue{{Sink: 9, Value: 0.5}}},
+		{SetThreshold: []SinkValue{{Sink: 0, Value: 1}}},
+		{SetFanout: []RefValue{{Ref: -1, Value: 2}}},
+		{SetFanout: []RefValue{{Ref: 0, Value: -3}}},
+		{ScaleReflectorCost: []RefValue{{Ref: 0, Value: -1}}},
+		{ScaleSrcRefCost: []ArcValue{{A: 5, B: 0, Value: 1}}},
+		{ScaleRefSinkCost: []ArcValue{{A: 0, B: 7, Value: 1}}},
+		{SetSrcRefLoss: []ArcValue{{A: 0, B: 0, Value: 1.5}}},
+		{SetRefSinkLoss: []ArcValue{{A: 0, B: 0, Value: -0.1}}},
+		{ScaleRefSinkLoss: []ArcValue{{A: 3, B: 0, Value: 1}}},
+	}
+	for i, d := range cases {
+		in := deltaTestInstance()
+		before := in.Clone()
+		if err := d.Apply(in); err == nil {
+			t.Fatalf("case %d: bad delta accepted", i)
+		} else if !strings.Contains(err.Error(), "delta") {
+			t.Fatalf("case %d: unexpected error %v", i, err)
+		}
+		// Failed apply must leave the instance untouched.
+		if in.Threshold[0] != before.Threshold[0] || in.Fanout[0] != before.Fanout[0] ||
+			in.SrcRefLoss[0][0] != before.SrcRefLoss[0][0] || in.RefSinkLoss[0][0] != before.RefSinkLoss[0][0] {
+			t.Fatalf("case %d: instance mutated by rejected delta", i)
+		}
+	}
+}
+
+func TestDeltaEmpty(t *testing.T) {
+	d := &Delta{Note: "noop"}
+	if !d.Empty() {
+		t.Fatal("note-only delta must be empty")
+	}
+	in := deltaTestInstance()
+	if err := d.Apply(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaRejectsInfiniteFanout(t *testing.T) {
+	in := deltaTestInstance()
+	d := Delta{SetFanout: []RefValue{{Ref: 0, Value: math.Inf(1)}}}
+	if err := d.Apply(in); err == nil {
+		t.Fatal("infinite fanout accepted")
+	}
+}

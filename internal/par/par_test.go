@@ -1,6 +1,8 @@
 package par
 
 import (
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -79,6 +81,102 @@ func TestChunksSmallN(t *testing.T) {
 	if hits[0] != 1 || hits[1] != 1 {
 		t.Fatalf("hits = %v", hits)
 	}
+}
+
+// TestForEachStress hammers the pool from many concurrent callers with
+// oversubscribed workers and uneven task sizes — the shape that exposes
+// lost-wakeup, double-dispatch, and off-by-one races under -race.
+func TestForEachStress(t *testing.T) {
+	const (
+		callers = 16
+		n       = 2048
+	)
+	var wg sync.WaitGroup
+	var inFlight, peak int64
+	for c := 0; c < callers; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			hits := make([]int32, n)
+			workers := 1 + c%7 // mix serial and parallel paths
+			ForEach(n, workers, func(i int) {
+				cur := atomic.AddInt64(&inFlight, 1)
+				for {
+					p := atomic.LoadInt64(&peak)
+					if cur <= p || atomic.CompareAndSwapInt64(&peak, p, cur) {
+						break
+					}
+				}
+				if i%97 == 0 { // uneven task sizes
+					runtime.Gosched()
+				}
+				atomic.AddInt32(&hits[i], 1)
+				atomic.AddInt64(&inFlight, -1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Errorf("caller %d: index %d hit %d times", c, i, h)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if peak == 0 {
+		t.Fatal("no task ever ran")
+	}
+}
+
+// TestMapStressConcurrentCallers checks Map under concurrent use: results
+// must stay ordered and complete even when many Maps share the scheduler.
+func TestMapStressConcurrentCallers(t *testing.T) {
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := Map(513, 0, func(i int) int { return i * 3 })
+			for i, v := range out {
+				if v != i*3 {
+					t.Errorf("Map[%d] = %d", i, v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestChunksStress verifies the chunked partition under concurrent callers
+// and adversarial (worker > n, prime n) shapes.
+func TestChunksStress(t *testing.T) {
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := 101 + c*13
+			hits := make([]int32, n)
+			Chunks(n, 3+c*5, func(lo, hi int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+					return
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Errorf("n=%d: index %d covered %d times", n, i, h)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func BenchmarkForEachOverhead(b *testing.B) {
