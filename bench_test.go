@@ -191,3 +191,40 @@ func BenchmarkPacketSim(b *testing.B) {
 	}
 	b.SetBytes(int64(cfg.Packets * in.NumSinks))
 }
+
+// BenchmarkShardedVsMonolithic compares the two solve paths on a 120-sink
+// clustered instance (the size keeps the monolithic op affordable for
+// -benchtime 1x smoke runs; BENCH_shard.json tracks the scaling story
+// through 2000 sinks, where only the sharded path terminates).
+func BenchmarkShardedVsMonolithic(b *testing.B) {
+	in := gen.Clustered(gen.DefaultClustered(2, 6, 2, 10), 7)
+	b.Run("monolithic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Solve(in, core.DefaultOptions(1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("shards-6", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			opts := core.DefaultOptions(1)
+			opts.Shards = 6
+			if _, err := core.Solve(in, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkShardedLiveEpochs measures the sharded re-solve loop: a 10-epoch
+// repricing timeline at 3 shards with per-shard warm state.
+func BenchmarkShardedLiveEpochs(b *testing.B) {
+	sc := live.GradualRepricing(5, 10)
+	for i := 0; i < b.N; i++ {
+		cfg := live.Config{Policy: live.WarmStickyPolicy()}
+		cfg.Solver.Shards = 3
+		if _, err := live.Run(sc, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

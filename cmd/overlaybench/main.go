@@ -12,30 +12,60 @@
 //	overlaybench -trials 20     # more seeds per cell
 //	overlaybench -stages        # per-stage timing/allocation table
 //	overlaybench -json out.json # machine-readable stage timings
+//
+// The sharded-solve acceptance sweep (S-series extended through 2000 sinks)
+// writes BENCH_shard.json:
+//
+//	overlaybench -shardjson BENCH_shard.json [-monodeadline 60s]
+//
+// Each size solves with 8 shards, then attempts the monolithic reference in
+// a subprocess killed at -monodeadline: at 2000 sinks the monolithic
+// simplex does not terminate, so the record shows the deadline forfeit
+// (with the speedup floor it proves) instead of a number nobody can
+// reproduce.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/gen"
+	"repro/internal/netmodel"
 )
 
 func main() {
 	var (
-		quick    = flag.Bool("quick", false, "reduced sizes/trials")
-		only     = flag.String("only", "", "comma-separated experiment IDs (default all)")
-		trials   = flag.Int("trials", 0, "override trials per cell")
-		stages   = flag.Bool("stages", false, "print per-stage pipeline instrumentation")
-		jsonPath = flag.String("json", "", "write per-stage timings as JSON to this file")
+		quick     = flag.Bool("quick", false, "reduced sizes/trials")
+		only      = flag.String("only", "", "comma-separated experiment IDs (default all)")
+		trials    = flag.Int("trials", 0, "override trials per cell")
+		stages    = flag.Bool("stages", false, "print per-stage pipeline instrumentation")
+		jsonPath  = flag.String("json", "", "write per-stage timings as JSON to this file")
+		shardJSON = flag.String("shardjson", "", "run the sharded-solve scaling sweep and write BENCH_shard.json here")
+		monoDL    = flag.Duration("monodeadline", 60*time.Second, "wall budget per monolithic reference solve in the -shardjson sweep")
+		monoProbe = flag.String("mono-probe", "", "internal: solve this instance monolithically and print JSON (subprocess mode)")
 	)
 	flag.Parse()
+
+	if *monoProbe != "" {
+		runMonoProbe(*monoProbe)
+		return
+	}
+	if *shardJSON != "" {
+		if err := shardSweep(*shardJSON, *monoDL, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "overlaybench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := exp.DefaultConfig()
 	if *quick {
@@ -142,5 +172,191 @@ func reportStages(print bool, jsonPath string) error {
 		}
 		fmt.Printf("wrote stage timings to %s\n", jsonPath)
 	}
+	return nil
+}
+
+// monoProbeOut is the subprocess protocol of -mono-probe: one JSON object
+// on stdout.
+type monoProbeOut struct {
+	WallNS  int64   `json:"wall_ns"`
+	Cost    float64 `json:"cost"`
+	Pivots  int     `json:"pivots"`
+	AuditOK bool    `json:"audit_ok"`
+	Err     string  `json:"err,omitempty"`
+}
+
+// runMonoProbe is the subprocess side: load, solve monolithically, report.
+func runMonoProbe(path string) {
+	out := monoProbeOut{}
+	in, err := netmodel.LoadFile(path)
+	if err == nil {
+		start := time.Now()
+		var res *core.Result
+		res, err = core.Solve(in, core.DefaultOptions(1))
+		out.WallNS = time.Since(start).Nanoseconds()
+		if err == nil {
+			out.Cost = res.Audit.Cost
+			out.Pivots = res.Timings.LPPivots
+			out.AuditOK = res.AuditOK()
+		}
+	}
+	if err != nil {
+		out.Err = err.Error()
+	}
+	json.NewEncoder(os.Stdout).Encode(out)
+}
+
+// shardRow is one size of the BENCH_shard.json sweep.
+type shardRow struct {
+	Sinks       int     `json:"sinks"`
+	Reflectors  int     `json:"reflectors"`
+	Shards      int     `json:"shards"`
+	ShardWallNS int64   `json:"shard_wall_ns"`
+	ShardCost   float64 `json:"shard_cost"`
+	ShardPivots int     `json:"shard_pivots"`
+	Rounds      int     `json:"rounds"`
+	AuditOK     bool    `json:"audit_ok"`
+	// Fallback marks a row whose "sharded" numbers actually came from the
+	// monolithic fallback (coordination could not feed a shard); the mono
+	// probe is skipped for such rows — the comparison would be
+	// monolithic-vs-monolithic.
+	Fallback bool `json:"fallback"`
+	// MonoStatus is "ok", "deadline", or "error: ...". On "ok" the mono
+	// numbers are real; on "deadline" SpeedupFloor is what the forfeit
+	// proves (deadline / sharded wall).
+	MonoStatus   string  `json:"mono_status"`
+	MonoWallNS   int64   `json:"mono_wall_ns,omitempty"`
+	MonoCost     float64 `json:"mono_cost,omitempty"`
+	Speedup      float64 `json:"speedup,omitempty"`
+	SpeedupFloor float64 `json:"speedup_floor,omitempty"`
+	CostRatio    float64 `json:"cost_ratio,omitempty"`
+}
+
+// shardBench is the BENCH_shard.json schema.
+type shardBench struct {
+	Workload     string     `json:"workload"`
+	MonoDeadline string     `json:"mono_deadline"`
+	Rows         []shardRow `json:"rows"`
+	Generated    string     `json:"generated"`
+}
+
+// shardSweep runs the S2 extended scaling sweep: 8-shard solves from 252 to
+// 2000 sinks, each against a deadline-bounded monolithic reference run in a
+// subprocess (a solve that blows the deadline is killed and recorded as a
+// forfeit — the honest way to benchmark against a solver that does not
+// terminate at the top size).
+func shardSweep(outPath string, deadline time.Duration, quick bool) error {
+	sprs := []int{63, 125, 250, 500}
+	if quick {
+		sprs = []int{25, 50}
+	}
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	tmp, err := os.MkdirTemp("", "shardsweep")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	bench := shardBench{
+		Workload:     "gen.Clustered sources=2 regions=4 isps=3 (colors stripped), shards=8, seed 7",
+		MonoDeadline: deadline.String(),
+		Generated:    time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, spr := range sprs {
+		cc := gen.DefaultClustered(2, 4, 3, spr)
+		in := gen.Clustered(cc, 7)
+		in.Color = nil
+		in.NumColors = 0
+
+		opts := core.DefaultOptions(1)
+		opts.Shards = 8
+		start := time.Now()
+		res, err := core.Solve(in, opts)
+		if err != nil {
+			return fmt.Errorf("sharded D=%d: %w", in.NumSinks, err)
+		}
+		shardWall := time.Since(start)
+		row := shardRow{
+			Sinks:       in.NumSinks,
+			Reflectors:  in.NumReflectors,
+			Shards:      res.ShardInfo.Shards,
+			ShardWallNS: shardWall.Nanoseconds(),
+			ShardCost:   res.Audit.Cost,
+			ShardPivots: res.Timings.LPPivots,
+			Rounds:      res.ShardInfo.Rounds,
+			AuditOK:     res.AuditOK(),
+			Fallback:    res.ShardInfo.Fallback,
+		}
+		if row.Fallback {
+			row.MonoStatus = "skipped (sharded solve fell back to monolithic)"
+			fmt.Printf("D=%d: FELL BACK to monolithic (%v) — row records no sharded numbers\n",
+				in.NumSinks, shardWall.Round(time.Millisecond))
+			bench.Rows = append(bench.Rows, row)
+			continue
+		}
+
+		instPath := filepath.Join(tmp, fmt.Sprintf("inst-%d.json", in.NumSinks))
+		f, err := os.Create(instPath)
+		if err != nil {
+			return err
+		}
+		if err := in.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+
+		ctx, cancel := context.WithTimeout(context.Background(), deadline)
+		outBytes, err := exec.CommandContext(ctx, self, "-mono-probe", instPath).Output()
+		timedOut := ctx.Err() == context.DeadlineExceeded
+		cancel()
+		var probe monoProbeOut
+		switch {
+		case timedOut:
+			row.MonoStatus = "deadline"
+			row.SpeedupFloor = float64(deadline) / float64(shardWall)
+		case err != nil:
+			row.MonoStatus = "error: " + err.Error()
+		default:
+			if uerr := json.Unmarshal(outBytes, &probe); uerr != nil {
+				out := outBytes
+				if len(out) > 120 {
+					out = out[:120]
+				}
+				row.MonoStatus = fmt.Sprintf("error: bad probe output %q: %v", out, uerr)
+				break
+			}
+			if probe.Err != "" {
+				row.MonoStatus = "error: " + probe.Err
+				break
+			}
+			row.MonoStatus = "ok"
+			row.MonoWallNS = probe.WallNS
+			row.MonoCost = probe.Cost
+			row.Speedup = float64(probe.WallNS) / float64(row.ShardWallNS)
+			row.CostRatio = row.ShardCost / probe.Cost
+		}
+		fmt.Printf("D=%d: sharded %v cost %.1f | mono %s", in.NumSinks,
+			shardWall.Round(time.Millisecond), row.ShardCost, row.MonoStatus)
+		if row.MonoStatus == "ok" {
+			fmt.Printf(" %v (%.1fx, cost %.3fx)",
+				time.Duration(row.MonoWallNS).Round(time.Millisecond), row.Speedup, row.CostRatio)
+		} else if row.SpeedupFloor > 0 {
+			fmt.Printf(" (≥%.1fx proven)", row.SpeedupFloor)
+		}
+		fmt.Println()
+		bench.Rows = append(bench.Rows, row)
+	}
+	data, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote shard sweep to %s\n", outPath)
 	return nil
 }

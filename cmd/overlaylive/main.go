@@ -12,6 +12,7 @@
 //	overlaylive -scenario rollingisp -policy warm -v     # per-epoch detail
 //	overlaylive -scenario diurnal -sim 2000              # packet-sim epochs
 //	overlaylive -scenario flashcrowd -json out.json      # machine-readable
+//	overlaylive -scenario flashcrowd -shards 3           # sharded epochs
 //
 // Everything is deterministic in -seed except wall-clock fields.
 package main
@@ -35,6 +36,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "scenario seed (events, topology, rounding)")
 		policy     = flag.String("policy", "both", "re-provisioning policy: cold|warm|both")
 		stickiness = flag.Float64("stickiness", 0.4, "deployed-design cost discount for the warm policy, in [0,1)")
+		shards     = flag.Int("shards", 0, "≥2: sharded per-epoch solves with per-shard warm state (internal/shard)")
 		simPkts    = flag.Int("sim", 0, "packets per simulated epoch (0 = no packet sim)")
 		simEvery   = flag.Int("simevery", 1, "simulate every n-th epoch")
 		jsonPath   = flag.String("json", "", "write the full report as JSON to this file")
@@ -61,6 +63,7 @@ func main() {
 	}
 
 	cfg := live.Config{SimPackets: *simPkts, SimEvery: *simEvery}
+	cfg.Solver.Shards = *shards
 	start := time.Now()
 	reps, err := live.ComparePolicies(sc, policies, cfg)
 	if err != nil {

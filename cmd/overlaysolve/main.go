@@ -4,13 +4,18 @@
 // Usage:
 //
 //	overlaysolve -in instance.json [-o design.json] [-seed 1] [-c 64]
-//	             [-greedy] [-exact] [-lp-only]
+//	             [-greedy] [-exact] [-lp-only] [-shards 8] [-json report.json]
 //
 // -greedy and -exact run the baseline / exact IP solver instead of the
 // LP-rounding algorithm (exact is exponential: tiny instances only).
+// -shards ≥ 2 solves one LP per commodity-region shard in parallel with a
+// capacity-coordination pass instead of the monolithic LP — the scaling
+// path for thousands of sinks. -json writes a machine-readable report
+// (per-stage timings, audit, shard counters) next to the human output.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,11 +39,17 @@ func main() {
 		repair  = flag.Bool("repair", false, "top coverage up to full demand after rounding (§7 heuristic)")
 		prior   = flag.String("prior", "", "prior design JSON for churn-aware re-solve (§1.3)")
 		sticky  = flag.Float64("stickiness", 0.5, "cost discount on prior arcs during re-solve, in [0,1)")
+		shards  = flag.Int("shards", 0, "≥2: solve one LP per commodity-region shard in parallel (internal/shard)")
+		jsonOut = flag.String("json", "", "write a machine-readable solve report (stages, audit, shard counters) here")
 	)
 	flag.Parse()
 	if *inPath == "" {
 		fmt.Fprintln(os.Stderr, "overlaysolve: -in is required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *jsonOut != "" && (*useG || *useX || *lpOnly) {
+		fmt.Fprintln(os.Stderr, "overlaysolve: -json requires a full LP-rounding solve (not -greedy/-exact/-lp-only)")
 		os.Exit(2)
 	}
 	in, err := netmodel.LoadFile(*inPath)
@@ -50,6 +61,7 @@ func main() {
 		in.Name, in.NumSources, in.NumReflectors, in.NumSinks, in.NumColors)
 
 	var design *netmodel.Design
+	var solveRes *core.Result
 	start := time.Now()
 	switch {
 	case *useG:
@@ -74,6 +86,7 @@ func main() {
 		opts.C = *c
 		opts.LPOnly = *lpOnly
 		opts.RepairCoverage = *repair
+		opts.Shards = *shards
 		var res *core.Result
 		if *prior != "" {
 			pf, err := os.Open(*prior)
@@ -102,18 +115,35 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		fmt.Printf("LP relaxation: cost %.4f, %d vars, %d rows, %d pivots, %v\n",
-			res.LPCost, res.Timings.TotalVars, res.Timings.TotalRows, res.Timings.LPPivots, res.Timings.LP.Round(time.Microsecond))
+		solveRes = res
+		if si := res.ShardInfo; si != nil {
+			fmt.Printf("sharded solve: %d shards, %d coordination rounds, %d re-solves, %d builds consolidated\n",
+				si.Shards, si.Rounds, si.Resolves, si.ConsolidatedBuilds)
+			fmt.Printf("shard LPs: Σcost %.4f, Σ%d vars, Σ%d rows, Σ%d pivots, %v\n",
+				res.LPCost, res.Timings.TotalVars, res.Timings.TotalRows, res.Timings.LPPivots, res.Timings.LP.Round(time.Microsecond))
+		} else {
+			fmt.Printf("LP relaxation: cost %.4f, %d vars, %d rows, %d pivots, %v\n",
+				res.LPCost, res.Timings.TotalVars, res.Timings.TotalRows, res.Timings.LPPivots, res.Timings.LP.Round(time.Microsecond))
+		}
 		if *lpOnly {
 			return
 		}
 		design = res.Design
 		fmt.Printf("algorithm: %s rounding, %d retries\n", map[bool]string{true: "§6.5 path", false: "§5 GAP"}[res.PathRounding], res.Retries)
-		fmt.Printf("cost ratio vs LP bound: %.3f\n", res.ApproxRatio())
+		if res.ShardInfo == nil {
+			fmt.Printf("cost ratio vs LP bound: %.3f\n", res.ApproxRatio())
+		}
 	}
 
 	audit := netmodel.AuditDesign(in, design)
 	fmt.Printf("audit: %v\n", audit)
+	if *jsonOut != "" && solveRes != nil {
+		if err := writeReport(*jsonOut, in, solveRes, audit); err != nil {
+			fmt.Fprintf(os.Stderr, "overlaysolve: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote solve report to %s\n", *jsonOut)
+	}
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
@@ -127,4 +157,59 @@ func main() {
 		}
 		fmt.Printf("wrote design to %s\n", *outPath)
 	}
+}
+
+// solveReport is the -json schema: instance identity, audit verdict,
+// per-stage pipeline instrumentation, and (for sharded runs) the shard
+// counters. The CI smoke run checks the stage names of a -shards solve
+// against this schema.
+type solveReport struct {
+	Instance string  `json:"instance"`
+	Sinks    int     `json:"sinks"`
+	Shards   int     `json:"shards"`
+	Cost     float64 `json:"cost"`
+	LPCost   float64 `json:"lp_cost"`
+	Pivots   int     `json:"pivots"`
+	Retries  int     `json:"retries"`
+	AuditOK  bool    `json:"audit_ok"`
+	Stages   []struct {
+		Name   string `json:"name"`
+		WallNS int64  `json:"wall_ns"`
+		Runs   int    `json:"runs"`
+	} `json:"stages"`
+	ShardRounds        int  `json:"shard_rounds"`
+	ShardResolves      int  `json:"shard_resolves"`
+	ConsolidatedBuilds int  `json:"consolidated_builds"`
+	Fallback           bool `json:"fallback"`
+}
+
+func writeReport(path string, in *netmodel.Instance, res *core.Result, audit netmodel.Audit) error {
+	rep := solveReport{
+		Instance: in.Name,
+		Sinks:    in.NumSinks,
+		Cost:     audit.Cost,
+		LPCost:   res.LPCost,
+		Pivots:   res.Timings.LPPivots,
+		Retries:  res.Retries,
+		AuditOK:  res.AuditOK(),
+	}
+	if si := res.ShardInfo; si != nil {
+		rep.Shards = si.Shards
+		rep.ShardRounds = si.Rounds
+		rep.ShardResolves = si.Resolves
+		rep.ConsolidatedBuilds = si.ConsolidatedBuilds
+		rep.Fallback = si.Fallback
+	}
+	for _, s := range res.Stages {
+		rep.Stages = append(rep.Stages, struct {
+			Name   string `json:"name"`
+			WallNS int64  `json:"wall_ns"`
+			Runs   int    `json:"runs"`
+		}{s.Name, s.Wall.Nanoseconds(), s.Runs})
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/lpmodel"
 	"repro/internal/netmodel"
 	"repro/internal/round"
+	"repro/internal/shard"
 	"repro/internal/stround"
 )
 
@@ -61,6 +62,24 @@ type Options struct {
 	// so warm bases survive sink join/leave churn (see lpmodel.Options.
 	// FixedShape). The live engine sets this; static solves don't need it.
 	LPFixedShape bool
+	// Shards ≥ 2 partitions the instance into that many commodity-region
+	// shards solved in parallel with a capacity-coordination pass
+	// (internal/shard); the pipeline then runs the shard-partition /
+	// shard-solve / shard-coordinate stages instead of lp-build/lp-solve/
+	// round/integralize/repair. 0 or 1 solves monolithically, as does
+	// LPOnly (the fractional optimum of the monolithic LP is what LPOnly
+	// callers want — shard-sum LP costs are not comparable).
+	Shards int
+	// ShardRounds caps the coordination rounds of a sharded solve
+	// (default 3).
+	ShardRounds int
+	// ShardWorkers bounds concurrent per-shard solves (0 = GOMAXPROCS).
+	ShardWorkers int
+	// ShardState warm-starts a sharded solve from a previous same-shaped
+	// solve: the partition is reused (so per-shard LP shapes match), the
+	// capacity split is rescaled instead of recomputed, and each shard's
+	// simplex starts from its prior basis. Incompatible state is ignored.
+	ShardState *shard.State
 	// StageMemStats additionally records per-stage allocation counters
 	// in Result.Stages. Off by default: the underlying
 	// runtime.ReadMemStats calls briefly stop the world.
@@ -88,7 +107,10 @@ type Result struct {
 	Design *netmodel.Design
 	Audit  netmodel.Audit
 	// Frac is the LP optimum; LPCost its objective (the lower bound on
-	// OPT used in every approximation-ratio experiment).
+	// OPT used in every approximation-ratio experiment). A sharded solve
+	// has no monolithic LP: Frac is nil and LPCost is the sum of the
+	// per-shard LP optima (diagnostic — merging deduplicates reflector
+	// build costs, so the sum is not a bound on the merged cost).
 	Frac   *lpmodel.FracSolution
 	LPCost float64
 	// RoundedCost is the §3 stage cost; RoundInst its lemma-by-lemma
@@ -107,6 +129,31 @@ type Result struct {
 	// (wall time, allocation counters, run counts), aggregated by stage
 	// name across audit retries.
 	Stages []StageStats
+	// ShardInfo summarizes the sharded path (nil for monolithic solves);
+	// ShardState carries the partition, capacity split, and per-shard
+	// bases forward for the next same-shaped solve (core.Session threads
+	// it across live epochs).
+	ShardInfo  *ShardInfo
+	ShardState *shard.State
+}
+
+// ShardInfo reports how a sharded solve went.
+type ShardInfo struct {
+	// Shards is the effective shard count (the requested count clamped to
+	// the sink population).
+	Shards int
+	// Rounds counts coordination rounds (0 = the initial capacity split
+	// was never contested); Resolves the shard re-solves they triggered;
+	// ConsolidatedBuilds the duplicate builds the merge-dedup removed.
+	Rounds             int
+	Resolves           int
+	ConsolidatedBuilds int
+	// PerShardPivots breaks Timings.LPPivots down by shard.
+	PerShardPivots []int
+	// Fallback reports that coordination could not feed every shard (a
+	// shard's LP stayed infeasible at the round cap) and the result came
+	// from a monolithic fallback solve instead.
+	Fallback bool
 }
 
 // WarmStartBasis returns the LP basis of this solve for seeding a future
@@ -190,11 +237,15 @@ func attemptStages() []Stage {
 	}
 }
 
-// Solve runs the full algorithm as a staged pipeline: lp-build → lp-solve
-// once, then round → integralize → repair → audit per attempt until the
-// audited design meets the paper's guarantee (or MaxRetries is exhausted,
-// returning the best attempt). Per-stage wall time and allocation counters
-// land in Result.Stages.
+// Solve runs the full algorithm as a staged pipeline. A monolithic solve
+// (Options.Shards ≤ 1) runs lp-build → lp-solve once, then round →
+// integralize → repair → audit per attempt until the audited design meets
+// the paper's guarantee (or MaxRetries is exhausted, returning the best
+// attempt). With Options.Shards ≥ 2 the pipeline instead runs
+// shard-partition → shard-solve → shard-coordinate → audit, solving one
+// small LP per commodity-region shard in parallel (see internal/shard).
+// Per-stage wall time and allocation counters land in Result.Stages either
+// way.
 func Solve(in *netmodel.Instance, opts Options) (*Result, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
@@ -205,7 +256,16 @@ func Solve(in *netmodel.Instance, opts Options) (*Result, error) {
 	if opts.MaxRetries == 0 {
 		opts.MaxRetries = 8
 	}
+	// The sharded path needs at least two nonempty shards to be a
+	// decomposition at all; LPOnly wants the monolithic fractional optimum.
+	if opts.Shards >= 2 && in.NumSinks >= 2 && !opts.LPOnly {
+		return solveSharded(in, opts)
+	}
+	return solveMono(in, opts)
+}
 
+// solveMono is the monolithic pipeline (the paper's algorithm as one LP).
+func solveMono(in *netmodel.Instance, opts Options) (*Result, error) {
 	ps := &pipelineState{in: in, opts: opts}
 	tracker := newStageTracker(opts.StageMemStats)
 	if err := tracker.runAll(lpStages(), ps); err != nil {
@@ -228,7 +288,7 @@ func Solve(in *netmodel.Instance, opts Options) (*Result, error) {
 		return res, nil
 	}
 
-	ps.usePath = opts.ForcePathRounding || in.Color != nil || in.EdgeCap != nil
+	ps.usePath = usePathRounding(in, opts)
 	tail := attemptStages()
 
 	var best *Result
@@ -269,6 +329,22 @@ func Solve(in *netmodel.Instance, opts Options) (*Result, error) {
 	}
 	best.Stages = tracker.stats
 	return best, nil
+}
+
+// AuditOK reports whether the result's design passed the full audit: the
+// structure constraints hold and the paper's end-to-end guarantee is met
+// under the rounding variant that produced it. CLIs, experiments, and the
+// live engine all certify results through this one predicate.
+func (r *Result) AuditOK() bool {
+	return r.Audit.StructureOK && MeetsGuarantee(r.Audit, r.PathRounding)
+}
+
+// usePathRounding reports whether the §6.5 path rounding replaces the §5
+// GAP stage: forced by options, or required by color / edge-capacity
+// extensions. Both the monolithic and the sharded pipeline key the audit
+// guarantee variant off this single predicate.
+func usePathRounding(in *netmodel.Instance, opts Options) bool {
+	return opts.ForcePathRounding || in.Color != nil || in.EdgeCap != nil
 }
 
 // MeetsGuarantee checks the paper's end-to-end bounds: every sink keeps at

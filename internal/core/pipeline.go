@@ -9,6 +9,7 @@ import (
 	"repro/internal/lpmodel"
 	"repro/internal/netmodel"
 	"repro/internal/round"
+	"repro/internal/shard"
 	"repro/internal/stround"
 )
 
@@ -58,6 +59,10 @@ type pipelineState struct {
 	stRes   *stround.Result
 	usePath bool
 	audit   netmodel.Audit
+
+	// sharded-pipeline products
+	plan     *shard.Plan
+	shardOut *shard.Outcome
 }
 
 // stageTracker aggregates StageStats by name, preserving first-run order.

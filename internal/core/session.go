@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/lp"
 	"repro/internal/netmodel"
+	"repro/internal/shard"
 )
 
 // Session is the re-solve loop of the §1.3 monitoring cycle: it carries the
@@ -23,7 +24,11 @@ type Session struct {
 	opts  Options
 	prior *netmodel.Design
 	basis *lp.Basis
-	steps int
+	// shardState is the sharded-path analogue of basis: the partition,
+	// capacity split, and per-shard bases of the previous epoch (nil when
+	// the session solves monolithically, see Options.Shards).
+	shardState *shard.State
+	steps      int
 }
 
 // NewSession returns a fresh session; the first Step is a cold solve.
@@ -45,10 +50,13 @@ func (s *Session) Step(in *netmodel.Instance) (*ReoptimizeResult, error) {
 	opts := s.opts
 	if s.WarmStart {
 		opts.WarmStart = s.basis
+		opts.ShardState = s.shardState
 	} else {
 		// A cold session must not inherit a caller-supplied basis either:
-		// cold means every epoch's simplex starts from scratch.
+		// cold means every epoch's simplex starts from scratch — including
+		// the sharded path's partition and capacity split.
 		opts.WarmStart = nil
+		opts.ShardState = nil
 	}
 	// Per-epoch seed decorrelates the randomized rounding across epochs
 	// while keeping the whole timeline a pure function of the base seed.
@@ -64,6 +72,7 @@ func (s *Session) Step(in *netmodel.Instance) (*ReoptimizeResult, error) {
 	}
 	s.prior = res.Design
 	s.basis = res.WarmStartBasis()
+	s.shardState = res.ShardState
 	s.steps++
 	return res, nil
 }

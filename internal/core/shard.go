@@ -1,0 +1,130 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/lp"
+	"repro/internal/lpmodel"
+	"repro/internal/netmodel"
+	"repro/internal/shard"
+)
+
+// shardSeedMix decorrelates per-shard randomized rounding. The constant
+// differs from Solve's per-retry increment and Session's per-epoch
+// increment so (shard, epoch, attempt) seed streams never collide.
+const shardSeedMix = 0x94d049bb133111eb
+
+// solveSharded is the decomposed pipeline: partition the instance into
+// commodity-region shards, solve one full (LP + rounding + audit) pipeline
+// per shard in parallel, reconcile shared reflector capacity, and audit the
+// merged design against the full instance. Each per-shard solve is a plain
+// monolithic Solve of the shard's sub-instance, so every paper guarantee
+// holds per shard; because a shard only ever sees its own capacity
+// allocation, the merged design keeps the ×4 fanout bound reflector by
+// reflector.
+//
+// If coordination cannot feed some shard (its LP stays infeasible at the
+// round cap), the solve falls back to the monolithic pipeline — which
+// either proves the instance itself infeasible or produces a design — and
+// marks Result.ShardInfo.Fallback.
+func solveSharded(in *netmodel.Instance, opts Options) (*Result, error) {
+	k := opts.Shards
+	if k > in.NumSinks {
+		k = in.NumSinks
+	}
+	sopts := shard.Options{
+		Shards:  k,
+		Workers: opts.ShardWorkers,
+		Rounds:  opts.ShardRounds,
+	}
+
+	solveFn := func(s int, sub *netmodel.Instance, warm *lp.Basis) (*shard.SolveResult, error) {
+		shOpts := opts
+		shOpts.Shards = 0
+		shOpts.ShardState = nil
+		shOpts.WarmStart = warm
+		shOpts.Seed = opts.Seed + (uint64(s)+1)*shardSeedMix
+		// Per-stage allocation accounting stops the world; the outer
+		// tracker already times the parallel region as one stage.
+		shOpts.StageMemStats = false
+		res, err := solveMono(sub, shOpts)
+		if err != nil {
+			return nil, err
+		}
+		return &shard.SolveResult{
+			Design:      res.Design,
+			Audit:       res.Audit,
+			LPCost:      res.LPCost,
+			RoundedCost: res.RoundedCost,
+			Pivots:      res.Timings.LPPivots,
+			Retries:     res.Retries,
+			Vars:        res.Timings.TotalVars,
+			Rows:        res.Timings.TotalRows,
+			Basis:       res.WarmStartBasis(),
+		}, nil
+	}
+
+	ps := &pipelineState{in: in, opts: opts}
+	tracker := newStageTracker(opts.StageMemStats)
+	stages := []Stage{
+		{Name: "shard-partition", Run: func(ps *pipelineState) error {
+			plan, err := shard.Prepare(in, sopts, opts.ShardState)
+			ps.plan = plan
+			return err
+		}},
+		{Name: "shard-solve", Run: func(ps *pipelineState) error {
+			return ps.plan.SolveAll(solveFn)
+		}},
+		{Name: "shard-coordinate", Run: func(ps *pipelineState) error {
+			out, err := ps.plan.Coordinate(solveFn)
+			if err != nil {
+				return err
+			}
+			ps.shardOut = out
+			ps.design = out.Design
+			return nil
+		}},
+		{Name: "audit", Run: func(ps *pipelineState) error {
+			ps.audit = netmodel.AuditDesign(in, ps.design)
+			return nil
+		}},
+	}
+	if err := tracker.runAll(stages, ps); err != nil {
+		if errors.Is(err, lpmodel.ErrInfeasible) {
+			res, ferr := solveMono(in, opts)
+			if ferr != nil {
+				return nil, ferr
+			}
+			res.ShardInfo = &ShardInfo{Shards: k, Fallback: true}
+			return res, nil
+		}
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	out := ps.shardOut
+	res := &Result{
+		Design:       ps.design,
+		Audit:        ps.audit,
+		LPCost:       out.LPCost,
+		RoundedCost:  out.RoundedCost,
+		PathRounding: usePathRounding(in, opts),
+		Retries:      out.Retries,
+		Timings: Timings{
+			LP:        tracker.wallOf("shard-solve") + tracker.wallOf("shard-coordinate"),
+			LPPivots:  out.Pivots,
+			TotalVars: out.Vars,
+			TotalRows: out.Rows,
+		},
+		Stages: tracker.stats,
+		ShardInfo: &ShardInfo{
+			Shards:             ps.plan.Shards(),
+			Rounds:             out.Rounds,
+			Resolves:           out.Resolves,
+			ConsolidatedBuilds: out.ConsolidatedBuilds,
+			PerShardPivots:     out.PerShardPivots,
+		},
+		ShardState: out.State,
+	}
+	return res, nil
+}

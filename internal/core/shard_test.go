@@ -1,0 +1,198 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+)
+
+// TestShardsOneGoldenEquivalence locks the pipeline refactor down: setting
+// Shards to 0 or 1 must route through the identical monolithic pipeline —
+// byte-identical designs, the same stage structure, the same LP cost — so
+// enabling the field is provably inert until a caller asks for ≥2 shards.
+func TestShardsOneGoldenEquivalence(t *testing.T) {
+	in := gen.Clustered(gen.DefaultClustered(2, 3, 2, 6), 17)
+	base, err := Solve(in, DefaultOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{0, 1} {
+		opts := DefaultOptions(4)
+		opts.Shards = k
+		res, err := Solve(in, opts)
+		if err != nil {
+			t.Fatalf("Shards=%d: %v", k, err)
+		}
+		wantD, _ := json.Marshal(base.Design)
+		gotD, _ := json.Marshal(res.Design)
+		if !bytes.Equal(wantD, gotD) {
+			t.Fatalf("Shards=%d produced a different design than the monolithic pipeline", k)
+		}
+		if res.LPCost != base.LPCost {
+			t.Fatalf("Shards=%d LP cost %v != monolithic %v", k, res.LPCost, base.LPCost)
+		}
+		if res.Audit.Cost != base.Audit.Cost {
+			t.Fatalf("Shards=%d cost %v != monolithic %v", k, res.Audit.Cost, base.Audit.Cost)
+		}
+		if len(res.Stages) != len(base.Stages) {
+			t.Fatalf("Shards=%d stage count %d != monolithic %d", k, len(res.Stages), len(base.Stages))
+		}
+		for i := range res.Stages {
+			if res.Stages[i].Name != base.Stages[i].Name || res.Stages[i].Runs != base.Stages[i].Runs {
+				t.Fatalf("Shards=%d stage %d = %s(x%d), monolithic has %s(x%d)",
+					k, i, res.Stages[i].Name, res.Stages[i].Runs, base.Stages[i].Name, base.Stages[i].Runs)
+			}
+		}
+		if res.ShardInfo != nil || res.ShardState != nil {
+			t.Fatalf("Shards=%d must not report shard metadata", k)
+		}
+	}
+}
+
+// TestShardedStageStructure pins the sharded pipeline's stage names — the
+// overlaysolve -json schema and the CI smoke check key off them.
+func TestShardedStageStructure(t *testing.T) {
+	in := gen.Clustered(gen.DefaultClustered(2, 3, 2, 6), 17)
+	opts := DefaultOptions(4)
+	opts.Shards = 3
+	res, err := Solve(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"shard-partition", "shard-solve", "shard-coordinate", "audit"}
+	if len(res.Stages) != len(want) {
+		t.Fatalf("got %d stages, want %d", len(res.Stages), len(want))
+	}
+	for i, name := range want {
+		if res.Stages[i].Name != name {
+			t.Fatalf("stage %d = %q, want %q", i, res.Stages[i].Name, name)
+		}
+	}
+	if res.ShardInfo == nil || res.ShardInfo.Shards != 3 {
+		t.Fatalf("ShardInfo = %+v, want 3 shards", res.ShardInfo)
+	}
+	if res.ShardState == nil || len(res.ShardState.Bases) != 3 {
+		t.Fatal("sharded solve must return per-shard warm state")
+	}
+}
+
+// TestShardedBeatsMonolithicWall is the always-on wall-clock acceptance: on
+// a 200-sink clustered instance, an 8-shard solve must beat the monolithic
+// solve by at least 2x while passing the paper's audit at a cost within the
+// property-tested bound. (The measured margin is ~30x — the LP solve is
+// superlinear in model size, so eight 25-sink LPs cost far less than one
+// 200-sink LP even on a single core; the assertion keeps a wide cushion
+// for slow CI machines.)
+func TestShardedBeatsMonolithicWall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("monolithic 200-sink solve takes seconds; skipped with -short")
+	}
+	in := gen.Clustered(gen.DefaultClustered(2, 8, 2, 25), 7)
+
+	opts := DefaultOptions(1)
+	monoStart := time.Now()
+	mono, err := Solve(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monoWall := time.Since(monoStart)
+
+	opts.Shards = 8
+	shardStart := time.Now()
+	sharded, err := Solve(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardWall := time.Since(shardStart)
+
+	t.Logf("monolithic %v cost %.1f | sharded(8) %v cost %.1f | speedup %.1fx",
+		monoWall.Round(time.Millisecond), mono.Audit.Cost,
+		shardWall.Round(time.Millisecond), sharded.Audit.Cost,
+		float64(monoWall)/float64(shardWall))
+	if sharded.ShardInfo.Fallback {
+		t.Fatal("sharded solve fell back to monolithic")
+	}
+	if !sharded.Audit.StructureOK || !MeetsGuarantee(sharded.Audit, sharded.PathRounding) {
+		t.Fatalf("sharded audit fails: %v", sharded.Audit)
+	}
+	if ratio := sharded.Audit.Cost / mono.Audit.Cost; ratio > 1.30 {
+		t.Fatalf("sharded cost %.3fx monolithic, above the 1.30x property bound", ratio)
+	}
+	if shardWall*2 > monoWall {
+		t.Fatalf("sharded %v not ≥2x faster than monolithic %v", shardWall, monoWall)
+	}
+}
+
+// TestShardAcceptance2000 is the full-scale acceptance run of ISSUE 3: a
+// gen.Clustered instance with 2000 sinks, solved with -shards 8, must pass
+// the audit and beat the monolithic solve by ≥2x wall-clock. At this size
+// the monolithic simplex does not finish at all on CI hardware (it burns
+// through its recovery ladder into an iteration-limit failure after tens of
+// minutes), so the monolithic attempt runs concurrently under a deadline of
+// 2x the sharded wall: finishing the comparison either way without holding
+// tier-1 hostage. Gated behind OVERLAY_SHARD_ACCEPTANCE=1 because even the
+// sharded solve costs ~10 s and the abandoned monolithic attempt keeps a
+// core busy until the test binary exits; BENCH_shard.json records a run.
+func TestShardAcceptance2000(t *testing.T) {
+	if os.Getenv("OVERLAY_SHARD_ACCEPTANCE") == "" {
+		t.Skip("set OVERLAY_SHARD_ACCEPTANCE=1 to run the 2000-sink acceptance comparison")
+	}
+	cc := gen.DefaultClustered(2, 4, 3, 500)
+	in := gen.Clustered(cc, 7)
+	in.Color = nil // keep the LP to its core rows at this scale
+	in.NumColors = 0
+	if in.NumSinks < 2000 {
+		t.Fatalf("instance has %d sinks, want ≥ 2000", in.NumSinks)
+	}
+
+	opts := DefaultOptions(1)
+	opts.Shards = 8
+	shardStart := time.Now()
+	sharded, err := Solve(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardWall := time.Since(shardStart)
+	if sharded.ShardInfo.Fallback {
+		t.Fatal("sharded solve fell back to monolithic")
+	}
+	if !sharded.Audit.StructureOK || !MeetsGuarantee(sharded.Audit, sharded.PathRounding) {
+		t.Fatalf("sharded audit fails: %v", sharded.Audit)
+	}
+	t.Logf("sharded(8) D=%d: wall=%v cost=%.1f pivots=%d rounds=%d",
+		in.NumSinks, shardWall.Round(time.Millisecond), sharded.Audit.Cost,
+		sharded.Timings.LPPivots, sharded.ShardInfo.Rounds)
+
+	type monoOut struct {
+		res  *Result
+		err  error
+		wall time.Duration
+	}
+	done := make(chan monoOut, 1)
+	go func() {
+		start := time.Now()
+		res, err := Solve(in, DefaultOptions(1))
+		done <- monoOut{res, err, time.Since(start)}
+	}()
+	select {
+	case m := <-done:
+		if m.err != nil {
+			t.Logf("monolithic solve failed outright after %v: %v (sharded wins by forfeit)",
+				m.wall.Round(time.Second), m.err)
+			return
+		}
+		t.Logf("monolithic finished in %v cost %.1f", m.wall.Round(time.Second), m.res.Audit.Cost)
+		if shardWall*2 > m.wall {
+			t.Fatalf("sharded %v not ≥2x faster than monolithic %v", shardWall, m.wall)
+		}
+		if ratio := sharded.Audit.Cost / m.res.Audit.Cost; ratio > 1.30 {
+			t.Fatalf("sharded cost %.3fx monolithic, above the 1.30x property bound", ratio)
+		}
+	case <-time.After(2 * shardWall):
+		t.Logf("monolithic still running after 2x the sharded wall (%v) — ≥2x speedup proven", 2*shardWall)
+	}
+}

@@ -86,6 +86,9 @@ func All() []Experiment {
 		{"A1", "Ablation: constraint (4) cutting plane on/off", A1CuttingPlaneAblation},
 		{"A2", "Ablation: §5 GAP flow vs §6.5 path rounding", A2GapVsPathRounding},
 		{"A3", "Coverage repair: W/4 guarantee → full demand", A3RepairCost},
+		{"S1", "Sharded vs monolithic solves: cost/wall/pivots", S1ShardedVsMonolithic},
+		{"S2", "Sharded solve scaling with sink count", S2ScalingWithSinks},
+		{"S3", "Shard coordination under capacity scarcity", S3CoordinationUnderScarcity},
 		{"L1", "Live: flash crowd, cold vs warm+sticky re-solves", L1FlashCrowd},
 		{"L2", "Live: diurnal wave, stickiness vs churn", L2DiurnalStickiness},
 		{"L3", "Live: rolling ISP outages, availability", L3RollingISPOutage},

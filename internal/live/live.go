@@ -212,7 +212,10 @@ func Run(sc *Scenario, cfg Config) (*RunReport, error) {
 		er.WallNS = time.Since(start).Nanoseconds()
 		er.TrueCost = res.Audit.Cost
 		er.LPCost = res.LPCost
-		er.Pivots = res.Frac.Iterations
+		// Timings.LPPivots equals Frac.Iterations for monolithic epochs and
+		// the all-shards/all-rounds pivot sum for sharded ones (Frac is nil
+		// on the sharded path).
+		er.Pivots = res.Timings.LPPivots
 		er.Retries = res.Retries
 		er.ArcChurn = res.ArcChurn
 		er.ReflectorChurn = res.ReflectorChurn
@@ -224,7 +227,7 @@ func Run(sc *Scenario, cfg Config) (*RunReport, error) {
 		er.WeightFactor = res.Audit.WeightFactor
 		er.FanoutFactor = res.Audit.FanoutFactor
 		er.MetDemand = res.Audit.MetDemand
-		er.AuditOK = res.Audit.StructureOK && core.MeetsGuarantee(res.Audit, res.PathRounding)
+		er.AuditOK = res.AuditOK()
 
 		if cfg.SimPackets > 0 && e%cfg.SimEvery == 0 {
 			scfg := sim.DefaultConfig(sc.Seed + 0x5deece66d*uint64(e+1))

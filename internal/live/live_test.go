@@ -189,3 +189,38 @@ func TestSessionCarriesDeployment(t *testing.T) {
 		t.Fatalf("steps = %d", sess.Steps())
 	}
 }
+
+// TestShardedLiveTimeline drives the live engine with a sharded solver:
+// every epoch of a flash-crowd timeline re-provisions through the
+// shard-partition/solve/coordinate pipeline, the per-shard warm state
+// (partition + capacity split + simplex bases) carries across epochs under
+// the warm policy, and every epoch's merged design still passes the
+// paper's audit. The warm run must also spend fewer total pivots than an
+// identical cold run — the whole point of carrying per-shard bases.
+func TestShardedLiveTimeline(t *testing.T) {
+	sc := FlashCrowd(3, 12)
+	mk := func(p Policy) *RunReport {
+		t.Helper()
+		cfg := Config{Policy: p}
+		cfg.Solver.Shards = 3
+		rep, err := Run(sc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Epochs) != 12 {
+			t.Fatalf("policy %s ran %d epochs, want 12", p.Name, len(rep.Epochs))
+		}
+		if !rep.AllAuditOK {
+			t.Fatalf("policy %s: some epoch failed the audit", p.Name)
+		}
+		return rep
+	}
+	cold := mk(ColdPolicy())
+	warm := mk(WarmStickyPolicy())
+	t.Logf("sharded timeline pivots: cold=%d warm=%d arcChurn: cold=%d warm=%d",
+		cold.TotalPivots, warm.TotalPivots, cold.TotalArcChurn, warm.TotalArcChurn)
+	if warm.TotalPivots >= cold.TotalPivots {
+		t.Fatalf("warm sharded run spent %d pivots, cold spent %d — per-shard warm starts bought nothing",
+			warm.TotalPivots, cold.TotalPivots)
+	}
+}

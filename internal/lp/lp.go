@@ -158,6 +158,18 @@ func (p *Problem) AddConstraint(rel Rel, rhs float64, coefs ...Coef) int {
 	return len(p.rows) - 1
 }
 
+// Precompute builds the cached CSC form of the constraint matrix now rather
+// than lazily inside the first solve. A Problem whose cache is built is safe
+// to solve from multiple goroutines concurrently — SolveOpts only reads the
+// rows, bounds, costs, and cache — which is how per-shard re-solves and
+// stress tests share one Problem. Adding a constraint invalidates the cache,
+// so call Precompute again after the last AddConstraint.
+func (p *Problem) Precompute() {
+	if p.csc == nil {
+		p.csc = buildCSC(p)
+	}
+}
+
 // Status reports the outcome of a solve.
 type Status int
 

@@ -1,7 +1,9 @@
 package lp
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 
 	"repro/internal/stats"
@@ -144,5 +146,80 @@ func TestWideBoundsMix(t *testing.T) {
 	// obj = 3 + 4 - 3 = 4.
 	if math.Abs(sol.Objective-4) > 1e-8 {
 		t.Fatalf("objective %v, want 4", sol.Objective)
+	}
+}
+
+// TestConcurrentSolvesShareCachedCSC: a Problem whose CSC cache has been
+// built with Precompute must support concurrent SolveOpts calls — the
+// sharded pipeline and branch-and-bound both re-solve shared problems from
+// multiple goroutines. Every solver must land on the identical objective
+// and iteration count, warm-started or cold. Run under -race in CI, this
+// is the data-race check for the shared cache; without Precompute the lazy
+// cache build inside the first solve would be the race.
+func TestConcurrentSolvesShareCachedCSC(t *testing.T) {
+	rng := stats.NewRNG(59)
+	const nVars, nRows = 120, 100
+	p := NewProblem(nVars)
+	for j := 0; j < nVars; j++ {
+		p.SetObjectiveCoef(j, rng.Range(0.1, 3))
+		p.SetBounds(j, 0, 1)
+	}
+	for i := 0; i < nRows; i++ {
+		coefs := make([]Coef, 0, 10)
+		for c := 0; c < 10; c++ {
+			coefs = append(coefs, Coef{rng.Intn(nVars), rng.Range(0.1, 1)})
+		}
+		p.AddConstraint(GE, rng.Range(0.3, 2), coefs...)
+	}
+	p.Precompute()
+
+	ref, err := p.MustSolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const solvers = 8
+	type out struct {
+		obj   float64
+		iters int
+		err   error
+	}
+	results := make([]out, solvers)
+	var wg sync.WaitGroup
+	wg.Add(solvers)
+	for g := 0; g < solvers; g++ {
+		go func(g int) {
+			defer wg.Done()
+			var warm *Basis
+			if g%2 == 1 {
+				warm = ref.Basis // odd solvers warm-start from the shared basis
+			}
+			sol, err := p.SolveOpts(Options{WarmStart: warm})
+			if err != nil {
+				results[g] = out{err: err}
+				return
+			}
+			if sol.Status != Optimal {
+				results[g] = out{err: fmt.Errorf("status %v", sol.Status)}
+				return
+			}
+			results[g] = out{obj: sol.Objective, iters: sol.Iterations}
+		}(g)
+	}
+	wg.Wait()
+	for g, r := range results {
+		if r.err != nil {
+			t.Fatalf("solver %d: %v", g, r.err)
+		}
+		if math.Abs(r.obj-ref.Objective) > 1e-9 {
+			t.Fatalf("solver %d objective %.12f != reference %.12f", g, r.obj, ref.Objective)
+		}
+		if r.iters != results[g%2].iters {
+			t.Fatalf("solver %d iterations %d differ from its cohort's %d", g, r.iters, results[g%2].iters)
+		}
+	}
+	if results[1].iters >= results[0].iters {
+		t.Fatalf("warm-started solve took %d iterations, cold took %d — warm start bought nothing",
+			results[1].iters, results[0].iters)
 	}
 }

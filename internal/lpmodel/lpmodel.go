@@ -21,11 +21,18 @@
 package lpmodel
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/lp"
 	"repro/internal/netmodel"
 )
+
+// ErrInfeasible is wrapped by SolveBuilt/SolveLP when the LP relaxation has
+// no feasible point. Callers that react to infeasibility structurally — the
+// shard coordination pass grants a starved shard more reflector capacity and
+// re-solves — match it with errors.Is instead of parsing messages.
+var ErrInfeasible = errors.New("infeasible")
 
 // Options selects model features.
 type Options struct {
@@ -269,7 +276,7 @@ func SolveBuilt(in *netmodel.Instance, p *lp.Problem, m *VarMap, warm *lp.Basis)
 	switch sol.Status {
 	case lp.Optimal:
 	case lp.Infeasible:
-		return nil, fmt.Errorf("lpmodel: LP relaxation infeasible (some sink cannot meet its threshold even using every reflector)")
+		return nil, fmt.Errorf("lpmodel: LP relaxation %w (some sink cannot meet its threshold with the available reflector capacity)", ErrInfeasible)
 	default:
 		return nil, fmt.Errorf("lpmodel: LP solve ended with status %v", sol.Status)
 	}

@@ -147,13 +147,13 @@ func (d *Delta) Apply(in *Instance) error {
 		in.Fanout[e.Ref] = e.Value
 	}
 	for _, e := range d.ScaleReflectorCost {
-		in.ReflectorCost[e.Ref] *= e.Value
+		in.ReflectorCost[e.Ref] = saturateCost(in.ReflectorCost[e.Ref] * e.Value)
 	}
 	for _, e := range d.ScaleSrcRefCost {
-		in.SrcRefCost[e.A][e.B] *= e.Value
+		in.SrcRefCost[e.A][e.B] = saturateCost(in.SrcRefCost[e.A][e.B] * e.Value)
 	}
 	for _, e := range d.ScaleRefSinkCost {
-		in.RefSinkCost[e.A][e.B] *= e.Value
+		in.RefSinkCost[e.A][e.B] = saturateCost(in.RefSinkCost[e.A][e.B] * e.Value)
 	}
 	for _, e := range d.SetSrcRefLoss {
 		in.SrcRefLoss[e.A][e.B] = e.Value
@@ -173,6 +173,18 @@ func (d *Delta) Apply(in *Instance) error {
 func saturate1(v float64) float64 {
 	if v > 1 {
 		return 1
+	}
+	return v
+}
+
+// saturateCost caps scaled costs at MaxFloat64. Two large scale factors on
+// the same cell within one delta can overflow a finite cost to +Inf, and a
+// later ×0 edit would then turn it into NaN — an instance no solver can
+// price. Saturating keeps repeated Apply closed over valid instances, which
+// FuzzDeltaApply asserts.
+func saturateCost(v float64) float64 {
+	if math.IsInf(v, 1) {
+		return math.MaxFloat64
 	}
 	return v
 }

@@ -1,0 +1,103 @@
+package netmodel_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/live"
+	"repro/internal/netmodel"
+)
+
+// FuzzDeltaApply fuzzes the live engine's mutation surface: arbitrary
+// byte-derived Deltas applied to a fixed clustered instance must either be
+// rejected with a validation error — leaving the instance bit-for-bit
+// untouched — or leave it dimension-consistent and value-valid (Validate
+// passes: no NaNs, no negative capacities or costs, probabilities in
+// range). No input may panic.
+//
+// The property is transitive: because a successful Apply yields a valid
+// instance again, the whole live timeline (an arbitrary sequence of
+// Deltas) stays inside the valid-instance set. This harness is what
+// surfaced the cost-scaling overflow (two huge scale factors pushing a
+// cost to +Inf, a later ×0 turning it into NaN) that Apply now saturates
+// away.
+//
+// The seed corpus is drawn from the live scenario library — every distinct
+// delta shape the shipped scenarios emit — plus hand-written edge cases
+// around each validation boundary.
+func FuzzDeltaApply(f *testing.F) {
+	for _, name := range live.Names() {
+		sc, err := live.Make(name, 3, 12)
+		if err != nil {
+			f.Fatal(err)
+		}
+		// One representative event per distinct note prefix keeps the
+		// corpus small while covering every delta field the library uses.
+		seen := map[byte]bool{}
+		for _, ev := range sc.Events {
+			key := byte(0)
+			if ev.Delta.Note != "" {
+				key = ev.Delta.Note[0]
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			data, err := json.Marshal(ev.Delta)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(data)
+		}
+	}
+	for _, s := range []string{
+		`{}`,
+		`{"set_threshold":[{"sink":0,"value":0.5}]}`,
+		`{"set_threshold":[{"sink":-1,"value":0.5}]}`,
+		`{"set_threshold":[{"sink":0,"value":1}]}`,
+		`{"set_fanout":[{"ref":0,"value":0}]}`,
+		`{"set_fanout":[{"ref":99999,"value":3}]}`,
+		`{"scale_reflector_cost":[{"ref":0,"value":1e308},{"ref":0,"value":1e308},{"ref":0,"value":0}]}`,
+		`{"scale_src_ref_cost":[{"a":0,"b":0,"value":2.5}]}`,
+		`{"set_src_ref_loss":[{"a":0,"b":0,"value":1.5}]}`,
+		`{"set_ref_sink_loss":[{"a":0,"b":0,"value":1}]}`,
+		`{"scale_ref_sink_loss":[{"a":0,"b":0,"value":1e300},{"a":0,"b":0,"value":1e300}]}`,
+	} {
+		f.Add([]byte(s))
+	}
+
+	base := gen.Clustered(gen.DefaultClustered(2, 2, 2, 4), 1)
+	if err := base.Validate(); err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var d netmodel.Delta
+		if err := json.Unmarshal(data, &d); err != nil {
+			t.Skip()
+		}
+		in := base.Clone()
+		before, err := json.Marshal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Apply(in); err != nil {
+			after, merr := json.Marshal(in)
+			if merr != nil {
+				t.Fatal(merr)
+			}
+			if !bytes.Equal(before, after) {
+				t.Fatalf("Apply returned %v but mutated the instance", err)
+			}
+			return
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("delta %s applied cleanly but left the instance invalid: %v", data, err)
+		}
+		// Dimensions are frozen by contract (warm-started LPs depend on it).
+		if s, r, dd := in.Dims(); s != base.NumSources || r != base.NumReflectors || dd != base.NumSinks {
+			t.Fatalf("delta changed dimensions to (%d,%d,%d)", s, r, dd)
+		}
+	})
+}

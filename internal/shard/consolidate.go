@@ -1,0 +1,176 @@
+package shard
+
+import (
+	"sort"
+
+	"repro/internal/netmodel"
+)
+
+// Consolidate is the merge-dedup counterpart of the capacity split: shards
+// solve blind to each other, so two shards routinely build neighbouring
+// reflectors where the monolithic solve would share one. The pass greedily
+// visits built reflectors in increasing fanout use and tries to evacuate
+// each one — every serve arc relocated onto another already-built reflector
+// with true capacity slack (never above F_i, so the audited fanout factor
+// only improves), without reducing any sink below min(its current weight,
+// its full demand), and without violating §6.4 color limits or §6.3 edge
+// capacities. A reflector is evacuated only when the whole relocation saves
+// net cost (build cost + freed ingests − arc deltas − new ingests > 0), so
+// the pass monotonically decreases design cost. Returns the number of
+// builds removed.
+//
+// The pass runs on the merged full-shape design; it is deterministic, cost
+// O(R²·D) with the small reflector sets of this model, and leaves every
+// audit quantity no worse except IngestExcess (a §6.2 soft constraint the
+// audit reports rather than enforces).
+func Consolidate(in *netmodel.Instance, d *netmodel.Design) int {
+	S, R, D := in.Dims()
+
+	use := make([]float64, R)
+	for i := 0; i < R; i++ {
+		use[i] = d.FanoutUse(in, i)
+	}
+	weight := make([]float64, D)
+	for j := 0; j < D; j++ {
+		weight[j] = d.SinkWeight(in, j)
+	}
+	// copies[j][c] counts serving reflectors of color c for sink j.
+	var copies [][]int
+	if in.Color != nil {
+		copies = make([][]int, D)
+		for j := 0; j < D; j++ {
+			copies[j] = make([]int, in.NumColors)
+		}
+		for i := 0; i < R; i++ {
+			for j := 0; j < D; j++ {
+				if d.Serve[i][j] {
+					copies[j][in.Color[i]]++
+				}
+			}
+		}
+	}
+	// served[i] lists the sinks reflector i currently serves.
+	served := make([][]int, R)
+	for i := 0; i < R; i++ {
+		for j := 0; j < D; j++ {
+			if d.Serve[i][j] {
+				served[i] = append(served[i], j)
+			}
+		}
+	}
+
+	order := make([]int, 0, R)
+	for i := 0; i < R; i++ {
+		if d.Build[i] {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if use[order[a]] != use[order[b]] {
+			return use[order[a]] < use[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	type move struct {
+		j, to int
+	}
+	removed := 0
+	for _, i := range order {
+		if !d.Build[i] {
+			continue
+		}
+		// Tentative state for this reflector's all-or-nothing transaction.
+		addUse := make(map[int]float64)
+		newIngest := make(map[[2]int]bool) // (k, i') ingests to add
+		var moves []move
+		feasible := true
+		arcDelta := 0.0
+		for _, j := range served[i] {
+			b := in.StreamBandwidth(in.Commodity[j])
+			w := in.CappedWeight(i, j)
+			floor := weight[j]
+			if dem := in.Demand(j); floor > dem {
+				floor = dem
+			}
+			best, bestCost := -1, 0.0
+			for t := 0; t < R; t++ {
+				if t == i || !d.Build[t] || d.Serve[t][j] || !in.ArcAllowed(t, j) {
+					continue
+				}
+				if in.Fanout[t]-use[t]-addUse[t] < b {
+					continue
+				}
+				if copies != nil {
+					c := copies[j][in.Color[t]]
+					if in.Color[t] == in.Color[i] {
+						c-- // the arc being removed frees a copy of this color
+					}
+					if c >= 1 {
+						continue
+					}
+				}
+				if weight[j]-w+in.CappedWeight(t, j) < floor-1e-9 {
+					continue
+				}
+				cost := in.RefSinkCost[t][j]
+				k := in.Commodity[j]
+				if !d.Ingest[k][t] && !newIngest[[2]int{k, t}] {
+					cost += in.SrcRefCost[k][t]
+				}
+				if best < 0 || cost < bestCost {
+					best, bestCost = t, cost
+				}
+			}
+			if best < 0 {
+				feasible = false
+				break
+			}
+			moves = append(moves, move{j: j, to: best})
+			addUse[best] += b
+			arcDelta += in.RefSinkCost[best][j] - in.RefSinkCost[i][j]
+			k := in.Commodity[j]
+			if !d.Ingest[k][best] && !newIngest[[2]int{k, best}] {
+				newIngest[[2]int{k, best}] = true
+				arcDelta += in.SrcRefCost[k][best]
+			}
+		}
+		if !feasible {
+			continue
+		}
+		freed := in.ReflectorCost[i]
+		for k := 0; k < S; k++ {
+			if d.Ingest[k][i] {
+				freed += in.SrcRefCost[k][i]
+			}
+		}
+		if freed-arcDelta <= 1e-9 {
+			continue
+		}
+		// Apply the transaction.
+		for _, mv := range moves {
+			d.Serve[i][mv.j] = false
+			d.Serve[mv.to][mv.j] = true
+			w := in.CappedWeight(i, mv.j)
+			weight[mv.j] += in.CappedWeight(mv.to, mv.j) - w
+			b := in.StreamBandwidth(in.Commodity[mv.j])
+			use[mv.to] += b
+			if copies != nil {
+				copies[mv.j][in.Color[i]]--
+				copies[mv.j][in.Color[mv.to]]++
+			}
+			served[mv.to] = append(served[mv.to], mv.j)
+		}
+		for ki := range newIngest {
+			d.Ingest[ki[0]][ki[1]] = true
+		}
+		for k := 0; k < S; k++ {
+			d.Ingest[k][i] = false
+		}
+		d.Build[i] = false
+		use[i] = 0
+		served[i] = nil
+		removed++
+	}
+	return removed
+}

@@ -1,0 +1,752 @@
+// Package shard decomposes an overlay-design instance into commodity-region
+// shards that can be solved as independent, much smaller LPs, and reconciles
+// the one resource the shards share — reflector fanout capacity — with an
+// iterative coordination pass.
+//
+// The paper's step-2 LP is the scaling bottleneck: its x_{ij} variables grow
+// as |R|·|D|, and simplex wall-clock grows superlinearly in the model size,
+// so one monolithic solve over thousands of sinks costs orders of magnitude
+// more than the sum of per-region solves (Andreev et al., arXiv:1109.4114,
+// exploit the same decomposability in their clustered formulation;
+// CliqueStream, arXiv:0903.4365, scales overlay streaming with cluster-local
+// construction under a thin global layer). Demand decomposes naturally: a
+// sink is served almost always from reflectors of its own region-cluster, so
+// partitioning sinks by their cheapest reflector recovers the region
+// structure without being told the regions.
+//
+// The pipeline is:
+//
+//  1. Partition: sinks are grouped by their cost-anchor reflector and cut
+//     into k balanced shards (PartitionSinks). The partition depends only on
+//     the cost structure, not on which sinks are currently active, so it is
+//     stable across live churn and per-shard LP shapes stay warm-startable.
+//  2. Capacity split: each reflector's fanout F_i is divided among shards
+//     proportionally to bandwidth-weighted affinity (how many of a shard's
+//     active sinks consider the reflector cheap), smoothed so no shard is
+//     permanently locked out.
+//  3. Parallel solve: one full solve (LP + rounding + audit) per shard via
+//     internal/par, each on a sub-instance whose Fanout row is the shard's
+//     allocation. Because every shard respects its own allocation up to the
+//     paper's ×4 rounding bound, the merged design respects 4·F_i — the
+//     monolithic guarantee survives sharding.
+//  4. Coordinate: shards that saturated their allocation at a reflector (or
+//     whose LP went infeasible outright) bid for contested capacity; the
+//     residual is re-split proportionally to realized use plus bids, and
+//     only the shards whose allocation materially changed re-solve, warm
+//     started from their previous basis. Rounds repeat until no shard is
+//     starved and no capacity is contested, or the round cap hits.
+//  5. Merge: per-shard designs are OR-ed into one full-shape design
+//     (build/ingest union, serve arcs re-indexed to global sink ids) and
+//     audited against the full instance by the caller.
+//
+// The package deliberately does not import internal/core: the caller
+// supplies the per-shard solver as a callback, and core threads the phases
+// through its instrumented pipeline as the shard-partition / shard-solve /
+// shard-coordinate stages.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/lp"
+	"repro/internal/lpmodel"
+	"repro/internal/netmodel"
+	"repro/internal/par"
+)
+
+// Options tunes the sharded solve.
+type Options struct {
+	// Shards is the number of shards k (callers clamp to ≥2 and ≤ |D|).
+	Shards int
+	// Workers bounds concurrent per-shard solves (0 = GOMAXPROCS).
+	Workers int
+	// Rounds caps coordination rounds after the initial solve (default 3).
+	Rounds int
+	// CheapFactor defines a sink's cheap reflector set: every reflector
+	// whose serving cost is within this factor of the sink's cheapest
+	// (default 1.25). Drives both partitioning and capacity affinity.
+	CheapFactor float64
+	// SaturationFrac is the fraction of its allocation a shard must use at
+	// a reflector to be considered capacity-hungry there (default 0.9).
+	SaturationFrac float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Rounds <= 0 {
+		o.Rounds = 3
+	}
+	if o.CheapFactor <= 1 {
+		o.CheapFactor = 1.25
+	}
+	if o.SaturationFrac <= 0 || o.SaturationFrac >= 1 {
+		o.SaturationFrac = 0.9
+	}
+	return o
+}
+
+// State is the warm-start currency of the sharded path across live epochs:
+// the partition (so per-shard LP shapes stay identical), the last capacity
+// allocation (so the split adapts instead of restarting from affinity), and
+// one simplex basis per shard. A State from a differently-shaped instance or
+// a different shard count is detected and ignored.
+type State struct {
+	S, R, D int
+	Sinks   [][]int
+	Alloc   [][]float64
+	Bases   []*lp.Basis
+}
+
+// compatible reports whether the state can seed a solve of in with k shards.
+func (st *State) compatible(in *netmodel.Instance, k int) bool {
+	if st == nil || len(st.Sinks) != k || len(st.Alloc) != k {
+		return false
+	}
+	S, R, D := in.Dims()
+	if st.S != S || st.R != R || st.D != D {
+		return false
+	}
+	total := 0
+	for s := range st.Sinks {
+		total += len(st.Sinks[s])
+		if len(st.Alloc[s]) != R {
+			return false
+		}
+	}
+	return total == D
+}
+
+// SolveResult is what the caller's per-shard solver returns: the
+// sub-instance-shaped design plus the counters the coordinator and the
+// merged report need.
+type SolveResult struct {
+	Design      *netmodel.Design
+	Audit       netmodel.Audit
+	LPCost      float64
+	RoundedCost float64
+	Pivots      int
+	Retries     int
+	Vars, Rows  int
+	Basis       *lp.Basis
+}
+
+// SolveFunc solves one shard: s is the shard index (for seed mixing), sub
+// the extracted sub-instance, warm the shard's previous basis (nil = cold).
+// An LP-infeasible shard must return an error wrapping
+// lpmodel.ErrInfeasible; the coordinator treats it as capacity starvation
+// and re-allocates instead of failing the solve.
+type SolveFunc func(s int, sub *netmodel.Instance, warm *lp.Basis) (*SolveResult, error)
+
+// Plan is a prepared sharded solve: the partition, the current capacity
+// allocation, the extracted sub-instances, and the per-shard solve state the
+// coordinator updates round by round.
+type Plan struct {
+	In    *netmodel.Instance
+	Sinks [][]int     // per-shard global sink ids, ascending
+	Alloc [][]float64 // [shard][reflector] fanout share; Σ_s Alloc[s][i] = F_i
+	Subs  []*netmodel.Instance
+	opts  Options
+	aff   [][]float64 // bandwidth-weighted cheap-set affinity [shard][reflector]
+
+	results      []*SolveResult // latest per-shard results (nil = starved)
+	starved      []bool
+	starveRounds []int       // consecutive rounds a shard has stayed starved
+	settled      []bool      // shard re-solved with more capacity and didn't improve
+	pivots       []int       // cumulative simplex iterations per shard, all rounds
+	warmBases    []*lp.Basis // per-shard bases from a previous epoch's State
+}
+
+// traceRounds dumps coordination rounds to stdout (debug builds only).
+const traceRounds = false
+
+// Shards returns the shard count of the plan.
+func (p *Plan) Shards() int { return len(p.Sinks) }
+
+// PartitionSinks groups the instance's sinks into k balanced shards by cost
+// anchor: each sink's anchor is its cheapest serving reflector, sinks are
+// ordered by (anchor, id), and the order is cut into k near-equal chunks.
+// On region-clustered topologies the cheapest reflector is intra-region, so
+// the cut recovers the region clusters; on unstructured instances it
+// degrades to a balanced deterministic split. The result depends only on
+// the cost matrix — never on thresholds — so live sink churn does not move
+// sinks between shards.
+func PartitionSinks(in *netmodel.Instance, k int) [][]int {
+	_, R, D := in.Dims()
+	if k > D {
+		k = D
+	}
+	if k < 1 {
+		k = 1
+	}
+	anchor := make([]int, D)
+	for j := 0; j < D; j++ {
+		best, bestC := 0, in.RefSinkCost[0][j]
+		for i := 1; i < R; i++ {
+			if c := in.RefSinkCost[i][j]; c < bestC {
+				best, bestC = i, c
+			}
+		}
+		anchor[j] = best
+	}
+	order := make([]int, D)
+	for j := range order {
+		order[j] = j
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if anchor[order[a]] != anchor[order[b]] {
+			return anchor[order[a]] < anchor[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	out := make([][]int, k)
+	for s := 0; s < k; s++ {
+		lo, hi := s*D/k, (s+1)*D/k
+		shard := append([]int(nil), order[lo:hi]...)
+		sort.Ints(shard)
+		out[s] = shard
+	}
+	return out
+}
+
+// Prepare builds a Plan: partition (reused from state when compatible),
+// affinity, initial capacity allocation (rescaled from state when present,
+// so a learned split survives repricing and adapts to fanout changes), and
+// the per-shard sub-instances.
+func Prepare(in *netmodel.Instance, opts Options, state *State) (*Plan, error) {
+	opts = opts.withDefaults()
+	if opts.Shards < 2 {
+		return nil, fmt.Errorf("shard: %d shards requested, need ≥ 2", opts.Shards)
+	}
+	p := &Plan{In: in, opts: opts}
+	if state.compatible(in, opts.Shards) {
+		p.Sinks = state.Sinks
+		if len(state.Bases) == len(state.Sinks) {
+			p.warmBases = state.Bases
+		}
+	} else {
+		state = nil
+		p.Sinks = PartitionSinks(in, opts.Shards)
+	}
+	k := len(p.Sinks)
+	p.computeAffinity()
+	if state != nil {
+		p.Alloc = rescaleAlloc(state.Alloc, in.Fanout, p.aff)
+	} else {
+		p.Alloc = allocFromAffinity(p.aff, in.Fanout)
+	}
+	p.Subs = make([]*netmodel.Instance, k)
+	for s := 0; s < k; s++ {
+		p.Subs[s] = extract(in, p.Sinks[s], p.Alloc[s], s)
+	}
+	p.results = make([]*SolveResult, k)
+	p.starved = make([]bool, k)
+	p.starveRounds = make([]int, k)
+	p.settled = make([]bool, k)
+	p.pivots = make([]int, k)
+	return p, nil
+}
+
+// computeAffinity fills p.aff: shard s's bandwidth-weighted count of active
+// sinks for which reflector i is cheap.
+func (p *Plan) computeAffinity() {
+	in := p.In
+	_, R, _ := in.Dims()
+	cheap := p.opts.CheapFactor
+	p.aff = make([][]float64, len(p.Sinks))
+	for s, sinks := range p.Sinks {
+		row := make([]float64, R)
+		for _, j := range sinks {
+			if in.Threshold[j] <= 0 {
+				continue
+			}
+			minC := in.RefSinkCost[0][j]
+			for i := 1; i < R; i++ {
+				if c := in.RefSinkCost[i][j]; c < minC {
+					minC = c
+				}
+			}
+			limit := cheap*minC + 1e-12
+			b := in.StreamBandwidth(in.Commodity[j])
+			for i := 0; i < R; i++ {
+				if in.RefSinkCost[i][j] <= limit {
+					row[i] += b
+				}
+			}
+		}
+		p.aff[s] = row
+	}
+}
+
+// allocFromAffinity splits each reflector's fanout proportionally to shard
+// affinity, with 5% smoothing so a shard with no cheap sinks at a reflector
+// still holds a sliver it can grow through coordination. Reflectors nobody
+// is near split evenly.
+func allocFromAffinity(aff [][]float64, fanout []float64) [][]float64 {
+	k := len(aff)
+	R := len(fanout)
+	alloc := make([][]float64, k)
+	for s := range alloc {
+		alloc[s] = make([]float64, R)
+	}
+	for i := 0; i < R; i++ {
+		tot := 0.0
+		for s := 0; s < k; s++ {
+			tot += aff[s][i]
+		}
+		if tot <= 0 {
+			for s := 0; s < k; s++ {
+				alloc[s][i] = fanout[i] / float64(k)
+			}
+			continue
+		}
+		smooth := 0.05 * tot / float64(k)
+		denom := tot + float64(k)*smooth
+		for s := 0; s < k; s++ {
+			alloc[s][i] = fanout[i] * (aff[s][i] + smooth) / denom
+		}
+	}
+	return alloc
+}
+
+// rescaleAlloc adapts a previous epoch's allocation to the instance's
+// current fanouts: each reflector keeps its learned split, rescaled to the
+// new F_i; a reflector whose previous total was zero (it was failed) falls
+// back to the affinity split.
+func rescaleAlloc(prev [][]float64, fanout []float64, aff [][]float64) [][]float64 {
+	k := len(prev)
+	R := len(fanout)
+	fresh := allocFromAffinity(aff, fanout)
+	alloc := make([][]float64, k)
+	for s := range alloc {
+		alloc[s] = make([]float64, R)
+	}
+	for i := 0; i < R; i++ {
+		tot := 0.0
+		for s := 0; s < k; s++ {
+			tot += prev[s][i]
+		}
+		for s := 0; s < k; s++ {
+			if tot > 0 {
+				alloc[s][i] = fanout[i] * prev[s][i] / tot
+			} else {
+				alloc[s][i] = fresh[s][i]
+			}
+		}
+	}
+	return alloc
+}
+
+// extract builds shard s's sub-instance: the shard's sinks with their
+// columns of the reflector→sink matrices, the full reflector and source
+// sets (|R| and |S| are small in this model — the x variables dominate, so
+// restricting them buys little and could cost feasibility), and the shard's
+// capacity allocation as the Fanout vector. Matrices that do not depend on
+// the sink set are shared with the parent instance — solvers never mutate
+// their input — so extraction is cheap and re-extraction after a capacity
+// re-split only replaces the Fanout slice.
+func extract(in *netmodel.Instance, sinks []int, alloc []float64, s int) *netmodel.Instance {
+	S, R, _ := in.Dims()
+	d := len(sinks)
+	sub := &netmodel.Instance{
+		Name:          fmt.Sprintf("%s/shard%d", in.Name, s),
+		NumSources:    S,
+		NumReflectors: R,
+		NumSinks:      d,
+		ReflectorCost: in.ReflectorCost,
+		Fanout:        append([]float64(nil), alloc...),
+		SrcRefLoss:    in.SrcRefLoss,
+		SrcRefCost:    in.SrcRefCost,
+		RefSinkLoss:   subCols(in.RefSinkLoss, sinks),
+		RefSinkCost:   subCols(in.RefSinkCost, sinks),
+		Commodity:     subInts(in.Commodity, sinks),
+		Threshold:     subFloats(in.Threshold, sinks),
+		Bandwidth:     in.Bandwidth,
+		Color:         in.Color,
+		NumColors:     in.NumColors,
+		IngestCap:     in.IngestCap,
+	}
+	if in.EdgeCap != nil {
+		sub.EdgeCap = subCols(in.EdgeCap, sinks)
+	}
+	return sub
+}
+
+func subCols(m [][]float64, cols []int) [][]float64 {
+	out := make([][]float64, len(m))
+	backing := make([]float64, len(m)*len(cols))
+	for r := range m {
+		row := backing[:len(cols):len(cols)]
+		backing = backing[len(cols):]
+		for c, j := range cols {
+			row[c] = m[r][j]
+		}
+		out[r] = row
+	}
+	return out
+}
+
+func subInts(v []int, idx []int) []int {
+	out := make([]int, len(idx))
+	for c, j := range idx {
+		out[c] = v[j]
+	}
+	return out
+}
+
+func subFloats(v []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for c, j := range idx {
+		out[c] = v[j]
+	}
+	return out
+}
+
+// SolveAll runs the initial parallel solve round: every shard solved
+// concurrently under the plan's worker bound. LP-infeasible shards are
+// recorded as starved for the coordinator; any other error aborts.
+func (p *Plan) SolveAll(solve SolveFunc) error {
+	return p.solveShards(allShards(p.Shards()), solve)
+}
+
+func allShards(k int) []int {
+	idx := make([]int, k)
+	for s := range idx {
+		idx[s] = s
+	}
+	return idx
+}
+
+// solveShards solves the given shard indices in parallel, updating
+// p.results / p.starved / per-shard bases.
+func (p *Plan) solveShards(idx []int, solve SolveFunc) error {
+	errs := make([]error, len(idx))
+	par.ForEach(len(idx), p.opts.Workers, func(n int) {
+		s := idx[n]
+		warm := (*lp.Basis)(nil)
+		switch {
+		case p.results[s] != nil:
+			warm = p.results[s].Basis
+		case p.warmBases != nil:
+			warm = p.warmBases[s]
+		}
+		res, err := solve(s, p.Subs[s], warm)
+		switch {
+		case err == nil:
+			p.results[s] = res
+			p.starved[s] = false
+			p.pivots[s] += res.Pivots
+		case errors.Is(err, lpmodel.ErrInfeasible):
+			// Starvation — unless the shard already holds a design from a
+			// previous round. rebid reserves a feasible shard's realized
+			// use, so that design still fits inside the trimmed
+			// allocation even when the full-demand LP no longer does;
+			// keeping it is strictly better than discarding a deployable
+			// design and begging for capacity back.
+			if p.results[s] == nil {
+				p.starved[s] = true
+			}
+		default:
+			errs[n] = err
+		}
+	})
+	for n, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", idx[n], err)
+		}
+	}
+	return nil
+}
+
+// Outcome is the result of the coordination pass: the merged full-shape
+// design, shard-summed counters, and the warm state for the next epoch.
+type Outcome struct {
+	Design *netmodel.Design
+	// LPCost is the sum of per-shard LP optima. It bounds the merged
+	// design's cost from below only per shard — merging deduplicates
+	// reflector build costs — so treat it as diagnostic, not as the
+	// monolithic LP bound.
+	LPCost float64
+	// RoundedCost sums the per-shard §3 rounding-stage costs; Vars and
+	// Rows sum the per-shard LP sizes (what the shards solved in place of
+	// one |R|·|D|-variable monolith).
+	RoundedCost float64
+	Vars, Rows  int
+	// Pivots counts simplex iterations across all shards and rounds;
+	// Retries sums per-shard audit re-randomizations.
+	Pivots  int
+	Retries int
+	// Rounds is how many coordination rounds ran (0 = initial allocation
+	// was never contested); Resolves counts shard re-solves they caused.
+	Rounds   int
+	Resolves int
+	// ConsolidatedBuilds counts duplicate reflector builds the post-merge
+	// Consolidate pass evacuated and removed.
+	ConsolidatedBuilds int
+	// PerShardPivots breaks Pivots down by shard.
+	PerShardPivots []int
+	// State seeds the next same-shaped solve.
+	State *State
+}
+
+// Coordinate reconciles shared reflector capacity after SolveAll: while some
+// shard is starved (infeasible) or saturates its allocation at a reflector
+// that another shard leaves slack at, capacity is re-split — each shard's
+// new share is proportional to its realized use plus a bid (saturated
+// shards bid to roughly double, starved shards bid their affinity share
+// plus a flat claim) — and the shards whose allocation materially changed
+// re-solve warm-started. Terminates when nothing is contested or after the
+// round cap; a shard still starved then fails the solve with
+// lpmodel.ErrInfeasible (the caller may fall back to a monolithic solve,
+// which will prove whether the instance itself is infeasible).
+func (p *Plan) Coordinate(solve SolveFunc) (*Outcome, error) {
+	in := p.In
+	k := p.Shards()
+	out := &Outcome{}
+
+	for round := 1; round <= p.opts.Rounds; round++ {
+		use := p.usage()
+		contested, anyStarved := p.contested(use)
+		if traceRounds {
+			fmt.Printf("round %d: starved=%v contested=%v alloc0=%.2f\n", round, p.starved, contested, p.Alloc[0])
+		}
+		if !anyStarved && len(contested) == 0 {
+			break
+		}
+		out.Rounds = round
+		changed := p.rebid(use, contested)
+		if len(changed) == 0 {
+			break
+		}
+		for _, s := range changed {
+			p.Subs[s].Fanout = append([]float64(nil), p.Alloc[s]...)
+		}
+		prev := make([]*SolveResult, k)
+		copy(prev, p.results)
+		if err := p.solveShards(changed, solve); err != nil {
+			return nil, err
+		}
+		out.Resolves += len(changed)
+		for s := range p.starved {
+			if p.starved[s] {
+				p.starveRounds[s]++
+			} else {
+				p.starveRounds[s] = 0
+			}
+		}
+		for _, s := range changed {
+			r := p.results[s]
+			if r == nil || prev[s] == nil {
+				continue
+			}
+			improved := r.LPCost < prev[s].LPCost*(1-1e-3) ||
+				r.Audit.WeightFactor > prev[s].Audit.WeightFactor+1e-9
+			if !improved {
+				p.settled[s] = true
+			}
+		}
+	}
+	for s, starved := range p.starved {
+		if starved {
+			return nil, fmt.Errorf("shard: shard %d still %w after %d coordination rounds",
+				s, lpmodel.ErrInfeasible, p.opts.Rounds)
+		}
+	}
+
+	design := p.Merge()
+	out.ConsolidatedBuilds = Consolidate(in, design)
+	out.Design = design
+	st := &State{Sinks: p.Sinks, Alloc: p.Alloc, Bases: make([]*lp.Basis, k)}
+	st.S, st.R, st.D = in.Dims()
+	for s, r := range p.results {
+		out.LPCost += r.LPCost
+		out.RoundedCost += r.RoundedCost
+		out.Vars += r.Vars
+		out.Rows += r.Rows
+		out.Retries += r.Retries
+		st.Bases[s] = r.Basis
+	}
+	out.PerShardPivots = append([]int(nil), p.pivots...)
+	for _, piv := range out.PerShardPivots {
+		out.Pivots += piv
+	}
+	out.State = st
+	return out, nil
+}
+
+// usage returns each shard's realized fanout consumption per reflector
+// (zero rows for starved shards).
+func (p *Plan) usage() [][]float64 {
+	_, R, _ := p.In.Dims()
+	use := make([][]float64, p.Shards())
+	for s, r := range p.results {
+		use[s] = make([]float64, R)
+		if r == nil {
+			continue
+		}
+		for i := 0; i < R; i++ {
+			use[s][i] = r.Design.FanoutUse(p.Subs[s], i)
+		}
+	}
+	return use
+}
+
+// contested returns the set of reflectors where a saturated shard faces
+// another shard's slack, plus whether any shard is starved outright.
+func (p *Plan) contested(use [][]float64) (map[int]bool, bool) {
+	_, R, _ := p.In.Dims()
+	contested := make(map[int]bool)
+	anyStarved := false
+	for _, st := range p.starved {
+		if st {
+			anyStarved = true
+		}
+	}
+	for i := 0; i < R; i++ {
+		sat, slack := false, false
+		for s := range p.results {
+			if p.starved[s] {
+				continue
+			}
+			a := p.Alloc[s][i]
+			if p.hungry(s) && a > 1e-9 && use[s][i] >= p.opts.SaturationFrac*a {
+				sat = true
+			} else if a-use[s][i] > 0.02*p.In.Fanout[i] {
+				slack = true
+			}
+		}
+		if sat && slack {
+			contested[i] = true
+		}
+	}
+	return contested, anyStarved
+}
+
+// hungry reports whether shard s would benefit from more capacity: its
+// design leaves some sink short of its full weight demand and it has not
+// already settled (a settled shard re-solved with a bigger allocation and
+// got nothing out of it — its shortfall is a rounding artifact, not a
+// capacity one). A fully-served shard never bids — extra capacity can only
+// shave cost, and re-splitting for that would churn every other shard.
+func (p *Plan) hungry(s int) bool {
+	r := p.results[s]
+	return r == nil || (!p.settled[s] && r.Audit.WeightFactor < 1)
+}
+
+// rebid re-splits capacity at contested reflectors (and at every reflector
+// when some shard is starved, since a starved shard's missing capacity may
+// be anywhere in its cheap set) and returns the shards whose allocation
+// materially changed.
+//
+// The invariant that makes the pass converge: a feasible shard's realized
+// use is RESERVED — its new allocation never drops below what its current
+// design consumes, so its design stays feasible under the new split and a
+// re-solve can only improve it. Only the free residual (F_i minus all
+// reserved use) is re-divided, proportionally to claims: a starved shard
+// claims its affinity share plus a stake that doubles every round it stays
+// starved, a saturated-and-still-short shard claims roughly double its
+// use, and everyone else claims their current slack. Re-allocating from
+// slack alone can therefore never starve a previously-feasible shard — the
+// oscillation where an aggressive bid knocks out a neighbour is
+// structurally impossible.
+func (p *Plan) rebid(use [][]float64, contested map[int]bool) []int {
+	in := p.In
+	_, R, _ := in.Dims()
+	k := p.Shards()
+	anyStarved := false
+	for _, st := range p.starved {
+		if st {
+			anyStarved = true
+		}
+	}
+	changedShard := make([]bool, k)
+	for i := 0; i < R; i++ {
+		if !contested[i] && !anyStarved {
+			continue
+		}
+		F := in.Fanout[i]
+		if F <= 0 {
+			continue
+		}
+		reserved := 0.0
+		for s := 0; s < k; s++ {
+			if !p.starved[s] {
+				reserved += use[s][i]
+			}
+		}
+		free := F - reserved
+		if free <= 1e-12 {
+			continue // nothing to re-split without displacing live service
+		}
+		claims := make([]float64, k)
+		tot := 0.0
+		for s := 0; s < k; s++ {
+			switch {
+			case p.starved[s]:
+				claims[s] = p.aff[s][i] + (0.2*F+1)*float64(int(1)<<p.starveRounds[s])
+			case p.hungry(s) && use[s][i] >= p.opts.SaturationFrac*p.Alloc[s][i] && p.Alloc[s][i] > 1e-9:
+				claims[s] = max(p.Alloc[s][i]-use[s][i], 0) + max(use[s][i], 1)
+			default:
+				claims[s] = max(p.Alloc[s][i]-use[s][i], 0)
+			}
+			tot += claims[s]
+		}
+		if tot <= 0 {
+			continue
+		}
+		for s := 0; s < k; s++ {
+			base := 0.0
+			if !p.starved[s] {
+				base = use[s][i]
+			}
+			next := base + free*claims[s]/tot
+			if diff := next - p.Alloc[s][i]; diff > 1e-6*(1+F) || diff < -1e-6*(1+F) {
+				changedShard[s] = true
+			}
+			p.Alloc[s][i] = next
+		}
+	}
+	var changed []int
+	for s, ch := range changedShard {
+		if ch {
+			changed = append(changed, s)
+		}
+	}
+	return changed
+}
+
+// Merge unions the per-shard designs into a full-shape design: build and
+// ingest decisions are OR-ed (a reflector built by two shards is of course
+// built — and paid for — once), and each shard's serve arcs are re-indexed
+// to global sink ids. Normalize restores the implication closure on the
+// merged instance.
+func (p *Plan) Merge() *netmodel.Design {
+	d := netmodel.NewDesign(p.In)
+	for s, r := range p.results {
+		if r == nil {
+			continue
+		}
+		for i, col := range r.Design.Serve {
+			for c, v := range col {
+				if v {
+					d.Serve[i][p.Sinks[s][c]] = true
+				}
+			}
+		}
+		for k := range r.Design.Ingest {
+			for i, v := range r.Design.Ingest[k] {
+				if v {
+					d.Ingest[k][i] = true
+				}
+			}
+		}
+		for i, v := range r.Design.Build {
+			if v {
+				d.Build[i] = true
+			}
+		}
+	}
+	d.Normalize(p.In)
+	return d
+}
+
