@@ -8,6 +8,7 @@ package overlay
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/exp"
@@ -59,6 +60,42 @@ func BenchmarkL1FlashCrowd(b *testing.B)           { runExp(b, "L1") }
 func BenchmarkL2DiurnalStickiness(b *testing.B)    { runExp(b, "L2") }
 func BenchmarkL3RollingISPOutage(b *testing.B)     { runExp(b, "L3") }
 func BenchmarkL4BackboneRepricing(b *testing.B)    { runExp(b, "L4") }
+func BenchmarkL5IncrementalRebuild(b *testing.B)   { runExp(b, "L5") }
+
+// TestIncrementalRebuildAcceptance is the incremental-LP-rebuild acceptance
+// gate on the 50-epoch flash crowd: warm+sticky epochs must spend at least
+// 3x less wall in LP construction (lp-build + lp-patch) than the per-epoch
+// full-rebuild baseline, while agreeing with it on every solver-visible
+// number (the patched LP is bit-identical to a fresh build, so costs,
+// pivots, and churn must match exactly).
+func TestIncrementalRebuildAcceptance(t *testing.T) {
+	sc := live.FlashCrowd(1, 50)
+	rebuild, err := live.Run(sc, live.Config{Policy: live.WarmStickyPolicy(), NoIncremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr, err := live.Run(sc, live.Config{Policy: live.WarmStickyPolicy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if incr.TotalTrueCost != rebuild.TotalTrueCost || incr.TotalPivots != rebuild.TotalPivots ||
+		incr.TotalArcChurn != rebuild.TotalArcChurn || incr.TotalReflectorChurn != rebuild.TotalReflectorChurn {
+		t.Fatalf("incremental run diverged from the rebuild baseline: cost %.17g/%.17g pivots %d/%d churn %d/%d",
+			incr.TotalTrueCost, rebuild.TotalTrueCost, incr.TotalPivots, rebuild.TotalPivots,
+			incr.TotalArcChurn, rebuild.TotalArcChurn)
+	}
+	if incr.TotalLPRebuilds != 1 {
+		t.Fatalf("incremental timeline performed %d full builds, want exactly the epoch-0 one", incr.TotalLPRebuilds)
+	}
+	baseNS, incrNS := rebuild.LPConstructionNS(), incr.LPConstructionNS()
+	speedup := float64(baseNS) / float64(incrNS)
+	t.Logf("LP construction over 50 epochs: rebuild %v, incremental %v (%.1fx), %d cells patched",
+		time.Duration(baseNS), time.Duration(incrNS), speedup, incr.TotalLPPatches)
+	if speedup < 3 {
+		t.Fatalf("incremental LP construction only %.2fx faster than rebuild (want >=3x): %d vs %d ns",
+			speedup, baseNS, incrNS)
+	}
+}
 
 // --- micro-benchmarks of the pipeline stages ---
 

@@ -18,6 +18,11 @@
 //
 //	overlaybench -shardjson BENCH_shard.json [-monodeadline 60s]
 //
+// The incremental-LP-rebuild sweep (L5 across the scenario library, plus
+// the 50-epoch flash-crowd acceptance workload) writes BENCH_incr.json:
+//
+//	overlaybench -incrjson BENCH_incr.json
+//
 // Each size solves with 8 shards, then attempts the monolithic reference in
 // a subprocess killed at -monodeadline: at 2000 sinks the monolithic
 // simplex does not terminate, so the record shows the deadline forfeit
@@ -39,6 +44,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/gen"
+	"repro/internal/live"
 	"repro/internal/netmodel"
 )
 
@@ -52,6 +58,7 @@ func main() {
 		shardJSON = flag.String("shardjson", "", "run the sharded-solve scaling sweep and write BENCH_shard.json here")
 		monoDL    = flag.Duration("monodeadline", 60*time.Second, "wall budget per monolithic reference solve in the -shardjson sweep")
 		monoProbe = flag.String("mono-probe", "", "internal: solve this instance monolithically and print JSON (subprocess mode)")
+		incrJSON  = flag.String("incrjson", "", "run the incremental-LP-rebuild sweep and write BENCH_incr.json here")
 	)
 	flag.Parse()
 
@@ -61,6 +68,13 @@ func main() {
 	}
 	if *shardJSON != "" {
 		if err := shardSweep(*shardJSON, *monoDL, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "overlaybench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *incrJSON != "" {
+		if err := incrSweep(*incrJSON, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "overlaybench: %v\n", err)
 			os.Exit(1)
 		}
@@ -172,6 +186,105 @@ func reportStages(print bool, jsonPath string) error {
 		}
 		fmt.Printf("wrote stage timings to %s\n", jsonPath)
 	}
+	return nil
+}
+
+// incrRow is one scenario of the BENCH_incr.json sweep.
+type incrRow struct {
+	Scenario string `json:"scenario"`
+	Epochs   int    `json:"epochs"`
+	Shards   int    `json:"shards"`
+	// RebuildNS sums the per-epoch lp-build wall of the full-rebuild
+	// baseline; IncrNS sums lp-build + lp-patch of the incremental run.
+	RebuildNS int64   `json:"rebuild_lp_build_ns"`
+	IncrNS    int64   `json:"incr_lp_build_patch_ns"`
+	Speedup   float64 `json:"speedup"`
+	// Patches / Rebuilds are the incremental run's totals; Identical
+	// records that both runs agreed on cost, pivots, and churn (the
+	// golden-equivalence property, re-checked here on real timelines).
+	Patches   int  `json:"patches"`
+	Rebuilds  int  `json:"rebuilds"`
+	Identical bool `json:"identical"`
+}
+
+// incrBench is the BENCH_incr.json schema.
+type incrBench struct {
+	Workload  string    `json:"workload"`
+	Rows      []incrRow `json:"rows"`
+	Generated string    `json:"generated"`
+}
+
+// incrSweep measures the incremental LP rebuild against the per-epoch full
+// rebuild on every library scenario (warm+sticky policy), headlined by the
+// 50-epoch flash crowd the bench_test acceptance asserts ≥3x on, plus a
+// sharded flash-crowd row exercising the per-shard patchers.
+func incrSweep(outPath string, quick bool) error {
+	epochs := 50
+	if quick {
+		epochs = 16
+	}
+	bench := incrBench{
+		Workload:  "scenario library on gen.Clustered (DefaultTopo), warm+sticky, incremental vs per-epoch rebuild",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+	}
+	type job struct {
+		name   string
+		shards int
+	}
+	jobs := []job{}
+	for _, name := range live.Names() {
+		jobs = append(jobs, job{name, 0})
+	}
+	jobs = append(jobs, job{"flashcrowd", 3})
+	for _, jb := range jobs {
+		sc, err := live.Make(jb.name, 1, epochs)
+		if err != nil {
+			return err
+		}
+		run := func(noIncr bool) (*live.RunReport, error) {
+			cfg := live.Config{Policy: live.WarmStickyPolicy(), NoIncremental: noIncr}
+			cfg.Solver.Shards = jb.shards
+			return live.Run(sc, cfg)
+		}
+		base, err := run(true)
+		if err != nil {
+			return fmt.Errorf("%s rebuild: %w", jb.name, err)
+		}
+		incr, err := run(false)
+		if err != nil {
+			return fmt.Errorf("%s incremental: %w", jb.name, err)
+		}
+		row := incrRow{
+			Scenario:  jb.name,
+			Epochs:    epochs,
+			Shards:    jb.shards,
+			RebuildNS: base.LPConstructionNS(),
+			IncrNS:    incr.LPConstructionNS(),
+			Patches:   incr.TotalLPPatches,
+			Rebuilds:  incr.TotalLPRebuilds,
+			Identical: base.TotalTrueCost == incr.TotalTrueCost &&
+				base.TotalPivots == incr.TotalPivots &&
+				base.TotalArcChurn == incr.TotalArcChurn,
+		}
+		row.Speedup = float64(row.RebuildNS) / float64(row.IncrNS)
+		tag := ""
+		if jb.shards > 0 {
+			tag = fmt.Sprintf(" (shards=%d)", jb.shards)
+		}
+		fmt.Printf("%s%s: rebuild %v vs incr %v (%.1fx), %d patches, %d builds, identical=%v\n",
+			jb.name, tag, time.Duration(row.RebuildNS).Round(time.Microsecond),
+			time.Duration(row.IncrNS).Round(time.Microsecond), row.Speedup,
+			row.Patches, row.Rebuilds, row.Identical)
+		bench.Rows = append(bench.Rows, row)
+	}
+	data, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote incremental-rebuild sweep to %s\n", outPath)
 	return nil
 }
 

@@ -13,6 +13,14 @@
 //	overlaylive -scenario diurnal -sim 2000              # packet-sim epochs
 //	overlaylive -scenario flashcrowd -json out.json      # machine-readable
 //	overlaylive -scenario flashcrowd -shards 3           # sharded epochs
+//	overlaylive -scenario backbone -record trace.json    # save the delta schedule
+//	overlaylive -replay trace.json -policy warm          # replay a saved trace
+//	overlaylive -scenario diurnal -incremental=false     # full lp-build every epoch
+//
+// Each epoch's LP is normally patched in place from the epoch's deltas (the
+// lp-patch stage; -incremental=false restores the per-epoch rebuild
+// baseline), and a sliding-window availability SLO is tracked next to the
+// audit (-slowindow/-slotarget).
 //
 // Everything is deterministic in -seed except wall-clock fields.
 package main
@@ -41,12 +49,41 @@ func main() {
 		simEvery   = flag.Int("simevery", 1, "simulate every n-th epoch")
 		jsonPath   = flag.String("json", "", "write the full report as JSON to this file")
 		verbose    = flag.Bool("v", false, "print every epoch (default: only event epochs)")
+		incr       = flag.Bool("incremental", true, "patch the LP in place from each epoch's deltas (lp-patch) instead of rebuilding it")
+		record     = flag.String("record", "", "serialize the scenario (base instance + timed delta schedule) as JSON to this file")
+		replay     = flag.String("replay", "", "run a scenario recorded with -record instead of building one (-scenario/-epochs/-seed ignored)")
+		sloWindow  = flag.Int("slowindow", 8, "availability SLO sliding window, in epochs")
+		sloTarget  = flag.Float64("slotarget", 0.5, "fraction of active sinks that must meet their threshold for an epoch to count as available (raise toward 1 with -repair-style solvers)")
 	)
 	flag.Parse()
 
-	sc, err := live.Make(*scenario, *seed, *epochs)
+	var sc *live.Scenario
+	var err error
+	if *replay != "" {
+		f, ferr := os.Open(*replay)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		sc, err = live.ReadScenario(f)
+		f.Close()
+	} else {
+		sc, err = live.Make(*scenario, *seed, *epochs)
+	}
 	if err != nil {
 		fatal(err)
+	}
+	if *record != "" {
+		f, ferr := os.Create(*record)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		if err := live.WriteScenario(f, sc); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("recorded scenario %s (%d events over %d epochs) to %s\n",
+			sc.Name, len(sc.Events), sc.Epochs, *record)
 	}
 	var policies []live.Policy
 	warm := live.WarmStickyPolicy()
@@ -62,7 +99,11 @@ func main() {
 		fatal(fmt.Errorf("unknown policy %q (want cold|warm|both)", *policy))
 	}
 
-	cfg := live.Config{SimPackets: *simPkts, SimEvery: *simEvery}
+	cfg := live.Config{
+		SimPackets: *simPkts, SimEvery: *simEvery,
+		NoIncremental: !*incr,
+		SLOWindow:     *sloWindow, SLOTarget: *sloTarget,
+	}
 	cfg.Solver.Shards = *shards
 	start := time.Now()
 	reps, err := live.ComparePolicies(sc, policies, cfg)
@@ -131,6 +172,10 @@ func printRun(rep *live.RunReport, verbose bool) {
 	t.AddNote("totals: pivots=%d arcChurn=%d reflChurn=%d cost=%.1f wall=%v allAuditsOK=%v",
 		rep.TotalPivots, rep.TotalArcChurn, rep.TotalReflectorChurn,
 		rep.TotalTrueCost, time.Duration(rep.TotalWallNS).Round(time.Microsecond), yesNo(rep.AllAuditOK))
+	t.AddNote("lp rebuild: %d full builds, %d cells patched in place (%v in lp-build + lp-patch)",
+		rep.TotalLPRebuilds, rep.TotalLPPatches, time.Duration(rep.LPConstructionNS()).Round(time.Microsecond))
+	t.AddNote("SLO (window %d, target %.0f%% of active sinks): min window availability %.1f%%, %d/%d epochs breached",
+		rep.SLOWindow, 100*rep.SLOTarget, 100*rep.MinSLOWindow, rep.SLOBreaches, len(rep.Epochs))
 	fmt.Println(t.String())
 }
 

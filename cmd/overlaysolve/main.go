@@ -41,6 +41,7 @@ func main() {
 		sticky  = flag.Float64("stickiness", 0.5, "cost discount on prior arcs during re-solve, in [0,1)")
 		shards  = flag.Int("shards", 0, "≥2: solve one LP per commodity-region shard in parallel (internal/shard)")
 		jsonOut = flag.String("json", "", "write a machine-readable solve report (stages, audit, shard counters) here")
+		stages  = flag.Bool("stages", false, "print the per-stage pipeline instrumentation (lp-build/lp-patch/lp-solve/... wall and run counts)")
 	)
 	flag.Parse()
 	if *inPath == "" {
@@ -137,6 +138,12 @@ func main() {
 
 	audit := netmodel.AuditDesign(in, design)
 	fmt.Printf("audit: %v\n", audit)
+	if *stages && solveRes != nil {
+		fmt.Println("pipeline stages:")
+		for _, s := range solveRes.Stages {
+			fmt.Printf("  %-18s %12s %4d run(s)\n", s.Name, s.Wall.Round(time.Microsecond), s.Runs)
+		}
+	}
 	if *jsonOut != "" && solveRes != nil {
 		if err := writeReport(*jsonOut, in, solveRes, audit); err != nil {
 			fmt.Fprintf(os.Stderr, "overlaysolve: %v\n", err)

@@ -84,6 +84,23 @@ type Options struct {
 	// in Result.Stages. Off by default: the underlying
 	// runtime.ReadMemStats calls briefly stop the world.
 	StageMemStats bool
+	// IncrementalLP enables the delta-driven incremental LP rebuild inside
+	// a Session: a persistent lpmodel.Patcher (one per shard when Shards ≥
+	// 2) carries the built lp.Problem across epochs and patches only the
+	// coefficients a churn delta touched, replacing the per-epoch lp-build
+	// stage with a delta-sized lp-patch stage. Requires the Session's
+	// delta flow: callers must report instance mutations through
+	// Session.Observe (the live engine does). Implies LPFixedShape. A
+	// plain one-shot Solve ignores it — there is no previous epoch to
+	// patch from.
+	IncrementalLP bool
+
+	// patcher and patchDirty are the per-Step plumbing of IncrementalLP,
+	// set by Session (monolithic path) or by solveSharded (per-shard): the
+	// persistent patch state and the dirty set accumulated since the
+	// previous epoch.
+	patcher    *lpmodel.Patcher
+	patchDirty *netmodel.DirtySet
 }
 
 // DefaultOptions returns the paper's constants.
@@ -129,6 +146,11 @@ type Result struct {
 	// (wall time, allocation counters, run counts), aggregated by stage
 	// name across audit retries.
 	Stages []StageStats
+	// Patch reports what the incremental LP rebuild did this solve (nil
+	// unless a Session-carried Patcher ran; see Options.IncrementalLP):
+	// whether the epoch fell back to a full lp-build and how many matrix /
+	// rhs / objective cells the lp-patch stage rewrote.
+	Patch *lpmodel.PatchStats
 	// ShardInfo summarizes the sharded path (nil for monolithic solves);
 	// ShardState carries the partition, capacity split, and per-shard
 	// bases forward for the next same-shaped solve (core.Session threads
@@ -150,6 +172,18 @@ type ShardInfo struct {
 	ConsolidatedBuilds int
 	// PerShardPivots breaks Timings.LPPivots down by shard.
 	PerShardPivots []int
+	// PerShardPatches counts the LP cells each shard's Patcher rewrote
+	// this epoch and PerShardRebuilds the full builds it fell back to
+	// (both nil unless Options.IncrementalLP). A shard no delta touched
+	// shows 0 in both — the dirty routing by the stable sink partition is
+	// what keeps a one-region churn event from touching the other shards'
+	// LPs.
+	PerShardPatches  []int
+	PerShardRebuilds []int
+	// LPBuildNS / LPPatchNS sum the per-shard model-construction stage
+	// walls, which the outer shard-solve stage timing subsumes (totals
+	// across concurrent shards, not elapsed wall).
+	LPBuildNS, LPPatchNS int64
 	// Fallback reports that coordination could not feed every shard (a
 	// shard's LP stayed infeasible at the round cap) and the result came
 	// from a monolithic fallback solve instead.
@@ -165,25 +199,52 @@ func (r *Result) WarmStartBasis() *lp.Basis {
 	return r.Frac.Basis
 }
 
+// lpOptions derives the model options of a solve from the instance and the
+// pipeline options (one definition shared by the build and patch paths, so
+// the two can never drift apart).
+func lpOptions(in *netmodel.Instance, opts Options) lpmodel.Options {
+	lpOpts := lpmodel.DefaultOptions(in)
+	lpOpts.CuttingPlane = !opts.DisableCuttingPlane
+	lpOpts.FixedShape = opts.LPFixedShape
+	return lpOpts
+}
+
 // lpStages is the head of the pipeline: model construction and the exact
-// simplex solve. It runs once per Solve.
-func lpStages() []Stage {
+// simplex solve. It runs once per Solve. With a Session-carried Patcher the
+// construction step becomes lp-patch — delta-sized in-place updates of the
+// persistent problem — except on epochs where the patcher must fall back to
+// a full build (the first, or a shape/options change), which still report
+// as lp-build.
+func lpStages(ps *pipelineState) []Stage {
+	solve := Stage{Name: "lp-solve", Run: func(ps *pipelineState) error {
+		frac, err := lpmodel.SolveBuilt(ps.in, ps.prob, ps.vm, ps.opts.WarmStart)
+		if err != nil {
+			return err
+		}
+		ps.frac = frac
+		return nil
+	}}
+	if pt := ps.opts.patcher; pt != nil {
+		name := "lp-patch"
+		if pt.NeedsRebuild(ps.in, lpOptions(ps.in, ps.opts)) {
+			name = "lp-build"
+		}
+		return []Stage{
+			{Name: name, Run: func(ps *pipelineState) error {
+				st := lpmodel.PatchStats{}
+				ps.prob, ps.vm, st = pt.Sync(ps.in, lpOptions(ps.in, ps.opts), ps.opts.patchDirty)
+				ps.patch = &st
+				return nil
+			}},
+			solve,
+		}
+	}
 	return []Stage{
 		{Name: "lp-build", Run: func(ps *pipelineState) error {
-			lpOpts := lpmodel.DefaultOptions(ps.in)
-			lpOpts.CuttingPlane = !ps.opts.DisableCuttingPlane
-			lpOpts.FixedShape = ps.opts.LPFixedShape
-			ps.prob, ps.vm = lpmodel.Build(ps.in, lpOpts)
+			ps.prob, ps.vm = lpmodel.Build(ps.in, lpOptions(ps.in, ps.opts))
 			return nil
 		}},
-		{Name: "lp-solve", Run: func(ps *pipelineState) error {
-			frac, err := lpmodel.SolveBuilt(ps.in, ps.prob, ps.vm, ps.opts.WarmStart)
-			if err != nil {
-				return err
-			}
-			ps.frac = frac
-			return nil
-		}},
+		solve,
 	}
 }
 
@@ -268,7 +329,7 @@ func Solve(in *netmodel.Instance, opts Options) (*Result, error) {
 func solveMono(in *netmodel.Instance, opts Options) (*Result, error) {
 	ps := &pipelineState{in: in, opts: opts}
 	tracker := newStageTracker(opts.StageMemStats)
-	if err := tracker.runAll(lpStages(), ps); err != nil {
+	if err := tracker.runAll(lpStages(ps), ps); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	frac := ps.frac
@@ -276,8 +337,9 @@ func solveMono(in *netmodel.Instance, opts Options) (*Result, error) {
 	res := &Result{
 		Frac:   frac,
 		LPCost: frac.Cost,
+		Patch:  ps.patch,
 		Timings: Timings{
-			LP:        tracker.wallOf("lp-build") + tracker.wallOf("lp-solve"),
+			LP:        tracker.wallOf("lp-build") + tracker.wallOf("lp-patch") + tracker.wallOf("lp-solve"),
 			LPPivots:  frac.Iterations,
 			TotalVars: ps.prob.NumVars(),
 			TotalRows: ps.prob.NumRows(),
@@ -306,6 +368,7 @@ func solveMono(in *netmodel.Instance, opts Options) (*Result, error) {
 			Audit:        ps.audit,
 			Frac:         frac,
 			LPCost:       frac.Cost,
+			Patch:        ps.patch,
 			RoundedCost:  ps.rounded.Cost,
 			RoundInst:    ps.rounded.Instrument(in, frac.Cost),
 			PathRounding: ps.usePath,

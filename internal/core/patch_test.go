@@ -1,0 +1,158 @@
+package core_test
+
+// Session-level locks for the incremental LP rebuild: an incremental
+// session must be indistinguishable — design by design, pivot by pivot —
+// from one that rebuilds the LP every epoch, and a sharded incremental
+// session must route an epoch's dirty set to exactly the shards it touches.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/live"
+	"repro/internal/netmodel"
+)
+
+// TestSessionIncrementalMatchesRebuild steps two warm+sticky sessions —
+// one patching, one rebuilding — through the same flash-crowd delta stream
+// and requires identical results every epoch: same deployed design, same
+// audited cost, same LP optimum, same simplex pivot count, same churn.
+func TestSessionIncrementalMatchesRebuild(t *testing.T) {
+	sc := live.FlashCrowd(7, 14)
+	byEpoch := make(map[int][]live.Event)
+	for _, ev := range sc.Events {
+		byEpoch[ev.Epoch] = append(byEpoch[ev.Epoch], ev)
+	}
+
+	mkOpts := func(incremental bool) core.Options {
+		opts := core.DefaultOptions(sc.Seed)
+		opts.IncrementalLP = incremental
+		return opts
+	}
+	inP := sc.Base.Clone()
+	inR := sc.Base.Clone()
+	sessP := core.NewSession(mkOpts(true), 0.4, true)
+	sessR := core.NewSession(mkOpts(false), 0.4, true)
+
+	for e := 0; e < sc.Epochs; e++ {
+		for _, ev := range byEpoch[e] {
+			ds, err := ev.Delta.Apply(inP)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sessP.Observe(ds)
+			if _, err := ev.Delta.Apply(inR); err != nil {
+				t.Fatal(err)
+			}
+		}
+		resP, err := sessP.Step(inP)
+		if err != nil {
+			t.Fatalf("epoch %d incremental: %v", e, err)
+		}
+		resR, err := sessR.Step(inR)
+		if err != nil {
+			t.Fatalf("epoch %d rebuild: %v", e, err)
+		}
+		if resP.Audit.Cost != resR.Audit.Cost || resP.LPCost != resR.LPCost {
+			t.Fatalf("epoch %d: cost %.17g/%.17g != %.17g/%.17g",
+				e, resP.Audit.Cost, resP.LPCost, resR.Audit.Cost, resR.LPCost)
+		}
+		if resP.Frac.Iterations != resR.Frac.Iterations {
+			t.Fatalf("epoch %d: pivots %d != %d", e, resP.Frac.Iterations, resR.Frac.Iterations)
+		}
+		if resP.ArcChurn != resR.ArcChurn || resP.ReflectorChurn != resR.ReflectorChurn {
+			t.Fatalf("epoch %d: churn (%d,%d) != (%d,%d)",
+				e, resP.ArcChurn, resP.ReflectorChurn, resR.ArcChurn, resR.ReflectorChurn)
+		}
+		if !reflect.DeepEqual(resP.Design, resR.Design) {
+			t.Fatalf("epoch %d: deployed designs differ", e)
+		}
+		if resP.Patch == nil {
+			t.Fatalf("epoch %d: incremental session reported no patch stats", e)
+		}
+		if e == 0 && !resP.Patch.Rebuilt {
+			t.Fatal("first epoch must be a full build")
+		}
+		if e > 0 && resP.Patch.Rebuilt {
+			t.Fatalf("epoch %d rebuilt instead of patching", e)
+		}
+		if resR.Patch != nil {
+			t.Fatalf("epoch %d: rebuild session unexpectedly reported patch stats", e)
+		}
+	}
+}
+
+// TestShardedIncrementalPatchesOnlyDirtyShards drives a 3-shard incremental
+// session and checks the routing claim: after warm-up, a threshold change
+// on a single sink patches only that sink's shard — the other shards' LPs
+// are untouched (no patches, no rebuilds).
+func TestShardedIncrementalPatchesOnlyDirtyShards(t *testing.T) {
+	cc := gen.DefaultClustered(2, 3, 3, 8)
+	cc.Fanout = int(1.5*float64(cc.Fanout) + 0.5) // headroom: no coordination rounds
+	in := gen.Clustered(cc, 7)
+
+	opts := core.DefaultOptions(7)
+	opts.Shards = 3
+	opts.IncrementalLP = true
+	sess := core.NewSession(opts, 0, true)
+
+	res, err := sess.Step(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si := res.ShardInfo
+	if si == nil || si.Shards != 3 {
+		t.Fatalf("expected a 3-shard solve, got %+v", si)
+	}
+	for s, reb := range si.PerShardRebuilds {
+		if reb == 0 {
+			t.Fatalf("shard %d: first epoch must build its LP", s)
+		}
+	}
+	state := res.ShardState
+	if state == nil || len(state.Sinks) != 3 {
+		t.Fatal("no shard state carried")
+	}
+
+	// A quiet epoch: no deltas → no shard rebuilds, no patches anywhere.
+	res, err = sess.Step(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range res.ShardInfo.PerShardPatches {
+		if res.ShardInfo.PerShardPatches[s] != 0 || res.ShardInfo.PerShardRebuilds[s] != 0 {
+			t.Fatalf("quiet epoch: shard %d reported patches=%d rebuilds=%d",
+				s, res.ShardInfo.PerShardPatches[s], res.ShardInfo.PerShardRebuilds[s])
+		}
+	}
+
+	// Touch one sink of shard 1 only.
+	target := state.Sinks[1][0]
+	d := netmodel.Delta{Note: "single-sink retarget",
+		SetThreshold: []netmodel.SinkValue{{Sink: target, Value: 0.9}}}
+	ds, err := d.Apply(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Observe(ds)
+	res, err = sess.Step(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si = res.ShardInfo
+	t.Logf("patches per shard after single-sink delta: %v (rounds=%d)", si.PerShardPatches, si.Rounds)
+	if si.PerShardPatches[1] == 0 {
+		t.Fatal("dirty shard reported zero patches")
+	}
+	for s := range si.PerShardPatches {
+		if s == 1 {
+			continue
+		}
+		if si.PerShardPatches[s] != 0 || si.PerShardRebuilds[s] != 0 {
+			t.Fatalf("untouched shard %d was patched (%d cells, %d rebuilds)",
+				s, si.PerShardPatches[s], si.PerShardRebuilds[s])
+		}
+	}
+}

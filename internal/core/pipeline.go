@@ -50,6 +50,9 @@ type pipelineState struct {
 	prob *lp.Problem
 	vm   *lpmodel.VarMap
 	frac *lpmodel.FracSolution
+	// patch reports what the lp-patch/lp-build stage did when a Patcher is
+	// driving model construction (nil on the plain build path).
+	patch *lpmodel.PatchStats
 
 	// per-attempt products
 	seed    uint64

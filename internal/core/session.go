@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/lp"
+	"repro/internal/lpmodel"
 	"repro/internal/netmodel"
 	"repro/internal/shard"
 )
@@ -13,6 +14,17 @@ import (
 //
 // A Session always solves with a fixed-shape LP (Options.LPFixedShape), so
 // the carried basis stays warm-start compatible while sinks join and leave.
+//
+// With Options.IncrementalLP the Session additionally carries the BUILT LP
+// across epochs: a persistent lpmodel.Patcher (or one per shard, inside the
+// shard.State) rewrites only the coefficients churn touched instead of
+// rebuilding the constraint matrix, turning the per-epoch model cost from
+// O(instance) into O(delta). The contract is the delta flow: callers that
+// mutate the instance between Steps must report the dirty sets through
+// Observe — netmodel.Delta.Apply returns them — or the patched LP goes
+// stale. The stickiness bias is handled internally: Step diffs the deployed
+// design against the previous epoch's and feeds the flipped cost cells into
+// the same dirty stream (netmodel.DiffDesigns).
 type Session struct {
 	// Stickiness is the cost discount applied to the deployed design on
 	// every Step (see Reoptimize); must be in [0,1).
@@ -25,16 +37,29 @@ type Session struct {
 	prior *netmodel.Design
 	basis *lp.Basis
 	// shardState is the sharded-path analogue of basis: the partition,
-	// capacity split, and per-shard bases of the previous epoch (nil when
-	// the session solves monolithically, see Options.Shards).
+	// capacity split, per-shard bases, and per-shard patchers of the
+	// previous epoch (nil when the session solves monolithically, see
+	// Options.Shards).
 	shardState *shard.State
 	steps      int
+
+	// patcher is the monolithic incremental-rebuild state; pending
+	// accumulates dirty sets reported via Observe since the last Step;
+	// lastBias remembers which design's arcs were discounted in the
+	// previous Step's LP, so the next Step can patch exactly the flips.
+	patcher  *lpmodel.Patcher
+	pending  *netmodel.DirtySet
+	lastBias *netmodel.Design
 }
 
 // NewSession returns a fresh session; the first Step is a cold solve.
 func NewSession(opts Options, stickiness float64, warmStart bool) *Session {
 	opts.LPFixedShape = true
-	return &Session{Stickiness: stickiness, WarmStart: warmStart, opts: opts}
+	s := &Session{Stickiness: stickiness, WarmStart: warmStart, opts: opts}
+	if opts.IncrementalLP && opts.Shards < 2 {
+		s.patcher = lpmodel.NewPatcher()
+	}
+	return s
 }
 
 // Steps returns how many epochs the session has solved.
@@ -43,9 +68,27 @@ func (s *Session) Steps() int { return s.steps }
 // Deployed returns the currently deployed design (nil before the first Step).
 func (s *Session) Deployed() *netmodel.Design { return s.prior }
 
+// Incremental reports whether the session patches its LP in place.
+func (s *Session) Incremental() bool { return s.opts.IncrementalLP }
+
+// Observe records a mutation of the instance the session is tracking, as a
+// dirty set (typically the return of netmodel.Delta.Apply). The accumulated
+// set drives the next Step's lp-patch stage; without IncrementalLP it is a
+// no-op. Observing a superset of the real changes is always safe.
+func (s *Session) Observe(ds *netmodel.DirtySet) {
+	if !s.opts.IncrementalLP || ds.Empty() {
+		return
+	}
+	if s.pending == nil {
+		s.pending = &netmodel.DirtySet{}
+	}
+	s.pending.Merge(ds)
+}
+
 // Step re-optimizes against the instance's current state — the caller
-// applies the epoch's deltas to in beforehand — and deploys the result. The
-// returned churn counts compare against the previous epoch's design.
+// applies the epoch's deltas to in beforehand (reporting them via Observe
+// under IncrementalLP) — and deploys the result. The returned churn counts
+// compare against the previous epoch's design.
 func (s *Session) Step(in *netmodel.Instance) (*ReoptimizeResult, error) {
 	opts := s.opts
 	if s.WarmStart {
@@ -57,6 +100,28 @@ func (s *Session) Step(in *netmodel.Instance) (*ReoptimizeResult, error) {
 		// the sharded path's partition and capacity split.
 		opts.WarmStart = nil
 		opts.ShardState = nil
+	}
+	if opts.IncrementalLP {
+		dirty := s.pending
+		s.pending = nil
+		// The stickiness discount moves with the deployed design: cost
+		// cells enter or leave the discounted set exactly where the new
+		// bias design differs from the previous epoch's. Those flips are
+		// instance changes the delta flow never sees, so they join the
+		// dirty stream here.
+		var bias *netmodel.Design
+		if s.Stickiness > 0 {
+			bias = s.prior
+		}
+		if flips := netmodel.DiffDesigns(s.lastBias, bias); flips != nil {
+			if dirty == nil {
+				dirty = &netmodel.DirtySet{}
+			}
+			dirty.Merge(flips)
+		}
+		s.lastBias = bias
+		opts.patcher = s.patcher
+		opts.patchDirty = dirty
 	}
 	// Per-epoch seed decorrelates the randomized rounding across epochs
 	// while keeping the whole timeline a pure function of the base seed.

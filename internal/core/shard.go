@@ -39,6 +39,15 @@ func solveSharded(in *netmodel.Instance, opts Options) (*Result, error) {
 		Rounds:  opts.ShardRounds,
 	}
 
+	// localDirty is filled by the shard-partition stage: the epoch's global
+	// dirty set routed through the stable sink partition, so a churn event
+	// confined to one region reaches — and patches — only that region's
+	// shard. It is read by the concurrent per-shard solves after the
+	// partition stage completes (a happens-before established by the
+	// sequential stage pipeline).
+	var localDirty []*netmodel.DirtySet
+	var ps *pipelineState
+
 	solveFn := func(s int, sub *netmodel.Instance, warm *lp.Basis) (*shard.SolveResult, error) {
 		shOpts := opts
 		shOpts.Shards = 0
@@ -48,11 +57,32 @@ func solveSharded(in *netmodel.Instance, opts Options) (*Result, error) {
 		// Per-stage allocation accounting stops the world; the outer
 		// tracker already times the parallel region as one stage.
 		shOpts.StageMemStats = false
+		shOpts.patcher, shOpts.patchDirty = nil, nil
+		if opts.IncrementalLP {
+			if ps.plan.Patchers[s] == nil {
+				ps.plan.Patchers[s] = lpmodel.NewPatcher()
+			}
+			shOpts.patcher = ps.plan.Patchers[s]
+			if localDirty != nil {
+				shOpts.patchDirty = localDirty[s]
+			}
+		}
 		res, err := solveMono(sub, shOpts)
 		if err != nil {
 			return nil, err
 		}
+		var buildNS, patchNS int64
+		for _, st := range res.Stages {
+			switch st.Name {
+			case "lp-build":
+				buildNS += st.Wall.Nanoseconds()
+			case "lp-patch":
+				patchNS += st.Wall.Nanoseconds()
+			}
+		}
 		return &shard.SolveResult{
+			BuildWallNS: buildNS,
+			PatchWallNS: patchNS,
 			Design:      res.Design,
 			Audit:       res.Audit,
 			LPCost:      res.LPCost,
@@ -62,15 +92,19 @@ func solveSharded(in *netmodel.Instance, opts Options) (*Result, error) {
 			Vars:        res.Timings.TotalVars,
 			Rows:        res.Timings.TotalRows,
 			Basis:       res.WarmStartBasis(),
+			Patch:       res.Patch,
 		}, nil
 	}
 
-	ps := &pipelineState{in: in, opts: opts}
+	ps = &pipelineState{in: in, opts: opts}
 	tracker := newStageTracker(opts.StageMemStats)
 	stages := []Stage{
 		{Name: "shard-partition", Run: func(ps *pipelineState) error {
 			plan, err := shard.Prepare(in, sopts, opts.ShardState)
 			ps.plan = plan
+			if err == nil && opts.IncrementalLP {
+				localDirty = routeDirty(opts.patchDirty, plan.Sinks, in.NumSinks)
+			}
 			return err
 		}},
 		{Name: "shard-solve", Run: func(ps *pipelineState) error {
@@ -123,8 +157,60 @@ func solveSharded(in *netmodel.Instance, opts Options) (*Result, error) {
 			Resolves:           out.Resolves,
 			ConsolidatedBuilds: out.ConsolidatedBuilds,
 			PerShardPivots:     out.PerShardPivots,
+			PerShardPatches:    out.PerShardPatches,
+			PerShardRebuilds:   out.PerShardRebuilds,
+			LPBuildNS:          out.LPBuildNS,
+			LPPatchNS:          out.LPPatchNS,
 		},
 		ShardState: out.State,
 	}
 	return res, nil
+}
+
+// routeDirty splits an epoch's global dirty set into per-shard sets keyed
+// by the stable sink partition. Sink-dimension entries (thresholds,
+// reflector→sink costs and losses) go to the owning shard with the sink
+// re-indexed to its local id; reflector- and source-dimension cost/loss
+// entries are shared state and broadcast to every shard. Fanout entries are
+// dropped entirely: a shard's LP sees its capacity ALLOCATION, not the raw
+// fanout, and the per-shard Patcher value-diffs the allocation itself
+// (which also covers coordination re-splits the delta flow never sees).
+// Shards with nothing routed to them get nil — their sync patches nothing.
+func routeDirty(ds *netmodel.DirtySet, sinks [][]int, numSinks int) []*netmodel.DirtySet {
+	k := len(sinks)
+	out := make([]*netmodel.DirtySet, k)
+	if ds.Empty() {
+		return out
+	}
+	owner := make([]int, numSinks)
+	local := make([]int, numSinks)
+	for s, list := range sinks {
+		for c, j := range list {
+			owner[j], local[j] = s, c
+		}
+	}
+	at := func(s int) *netmodel.DirtySet {
+		if out[s] == nil {
+			out[s] = &netmodel.DirtySet{}
+		}
+		return out[s]
+	}
+	for _, j := range ds.SinkDemand {
+		at(owner[j]).SinkDemand = append(at(owner[j]).SinkDemand, local[j])
+	}
+	for _, a := range ds.RefSinkCost {
+		at(owner[a.B]).RefSinkCost = append(at(owner[a.B]).RefSinkCost, netmodel.Arc{A: a.A, B: local[a.B]})
+	}
+	for _, a := range ds.RefSinkLoss {
+		at(owner[a.B]).RefSinkLoss = append(at(owner[a.B]).RefSinkLoss, netmodel.Arc{A: a.A, B: local[a.B]})
+	}
+	if len(ds.ReflectorCost) > 0 || len(ds.SrcRefCost) > 0 || len(ds.SrcRefLoss) > 0 {
+		for s := 0; s < k; s++ {
+			t := at(s)
+			t.ReflectorCost = append(t.ReflectorCost, ds.ReflectorCost...)
+			t.SrcRefCost = append(t.SrcRefCost, ds.SrcRefCost...)
+			t.SrcRefLoss = append(t.SrcRefLoss, ds.SrcRefLoss...)
+		}
+	}
+	return out
 }

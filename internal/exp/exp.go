@@ -93,5 +93,6 @@ func All() []Experiment {
 		{"L2", "Live: diurnal wave, stickiness vs churn", L2DiurnalStickiness},
 		{"L3", "Live: rolling ISP outages, availability", L3RollingISPOutage},
 		{"L4", "Live: backbone failure & repricing, cost tracking", L4BackboneAndRepricing},
+		{"L5", "Live: incremental LP rebuild, patch vs rebuild wall", L5IncrementalRebuild},
 	}
 }

@@ -39,11 +39,11 @@ type Event struct {
 // RollingISPOutage, CorrelatedBackboneFailure, GradualRepricing) build
 // scenarios on gen's clustered topology from a seed.
 type Scenario struct {
-	Name   string  `json:"name"`
-	Seed   uint64  `json:"seed"`
-	Epochs int     `json:"epochs"`
-	Events []Event `json:"events"`
-	Base   *netmodel.Instance
+	Name   string             `json:"name"`
+	Seed   uint64             `json:"seed"`
+	Epochs int                `json:"epochs"`
+	Events []Event            `json:"events"`
+	Base   *netmodel.Instance `json:"base"`
 }
 
 // Validate checks the scenario's shape and every event's delta against the
@@ -109,6 +109,25 @@ type Config struct {
 	// SimEvery simulates only every n-th epoch (default 1 = all) — the
 	// packet sim costs far more than the re-solve at scale.
 	SimEvery int
+	// NoIncremental disables the incremental LP rebuild. By default the
+	// engine routes every epoch's deltas through a persistent
+	// lpmodel.Patcher (core.Options.IncrementalLP), so only the LP cells
+	// churn touched are rewritten — the lp-patch stage — instead of
+	// rebuilding the model from scratch each epoch. The patched LP is
+	// bit-identical to a fresh build (golden-tested), so this knob only
+	// exists for baselines and benchmarks.
+	NoIncremental bool
+	// SLOWindow is the sliding window (in epochs) of the availability SLO
+	// tracker; default 8. SLOTarget is the fraction of active sinks that
+	// must meet their exact reliability threshold for an epoch to count as
+	// available; default 0.5. The default is deliberately below the ~60%
+	// met-demand a repair-less solve delivers in steady state (the paper
+	// guarantees W/4 weight, not full demand), so breaches flag genuine
+	// incidents — outages, flash-crowd onsets — rather than firing every
+	// epoch; operators running RepairCoverage-style solvers should raise
+	// it toward 1.
+	SLOWindow int
+	SLOTarget float64
 }
 
 // EpochReport records one epoch of a run. All fields except WallNS are
@@ -143,6 +162,21 @@ type EpochReport struct {
 	MetDemand    int     `json:"met_demand"`
 	AuditOK      bool    `json:"audit_ok"`
 	WallNS       int64   `json:"wall_ns"`
+	// StageWallNS breaks WallNS down by pipeline stage (lp-build, lp-patch,
+	// lp-solve, ... — or the shard-* stages of a sharded run). Wall clock,
+	// so nondeterministic like WallNS.
+	StageWallNS map[string]int64 `json:"stage_wall_ns,omitempty"`
+	// LPPatches counts the LP cells the incremental rebuild rewrote this
+	// epoch (summed over shards on the sharded path); LPRebuilds counts
+	// full LP builds it fell back to (epoch 0 is always a build). Both 0
+	// when Config.NoIncremental.
+	LPPatches  int `json:"lp_patches"`
+	LPRebuilds int `json:"lp_rebuilds"`
+	// SLOOk reports whether this epoch met the availability target
+	// (MetDemand ≥ SLOTarget × ActiveSinks); SLOWindowFrac is the fraction
+	// of the trailing SLOWindow epochs (including this one) that did.
+	SLOOk         bool    `json:"slo_ok"`
+	SLOWindowFrac float64 `json:"slo_window_frac"`
 	// Packet-sim quality: meaningful only when SimRan is true (the epoch
 	// was simulated). The numeric fields are always serialized so a
 	// measured zero is distinguishable from "not simulated".
@@ -165,6 +199,28 @@ type RunReport struct {
 	TotalWallNS         int64   `json:"total_wall_ns"`
 	// AllAuditOK reports whether every epoch met the paper's guarantee.
 	AllAuditOK bool `json:"all_audit_ok"`
+	// Incremental LP rebuild totals (zero when Config.NoIncremental).
+	TotalLPPatches  int `json:"total_lp_patches"`
+	TotalLPRebuilds int `json:"total_lp_rebuilds"`
+	// Availability SLO summary: the window/target the tracker ran with,
+	// the number of epochs missing the target, and the worst trailing-
+	// window availability seen over the timeline.
+	SLOWindow    int     `json:"slo_window"`
+	SLOTarget    float64 `json:"slo_target"`
+	SLOBreaches  int     `json:"slo_breaches"`
+	MinSLOWindow float64 `json:"min_slo_window"`
+}
+
+// LPConstructionNS sums the run's model-construction wall across epochs:
+// the lp-build stages (full builds) plus the lp-patch stages (in-place
+// delta patches). It is the number the incremental-rebuild benchmarks and
+// the ≥3x acceptance compare between policies.
+func (r *RunReport) LPConstructionNS() int64 {
+	var total int64
+	for _, er := range r.Epochs {
+		total += er.StageWallNS["lp-build"] + er.StageWallNS["lp-patch"]
+	}
+	return total
 }
 
 // Run advances the scenario epoch by epoch under one policy.
@@ -181,6 +237,13 @@ func Run(sc *Scenario, cfg Config) (*RunReport, error) {
 	if cfg.SimEvery <= 0 {
 		cfg.SimEvery = 1
 	}
+	cfg.Solver.IncrementalLP = !cfg.NoIncremental
+	if cfg.SLOWindow <= 0 {
+		cfg.SLOWindow = 8
+	}
+	if cfg.SLOTarget <= 0 {
+		cfg.SLOTarget = 0.5
+	}
 	byEpoch := make(map[int][]Event, len(sc.Events))
 	for _, ev := range sc.Events {
 		byEpoch[ev.Epoch] = append(byEpoch[ev.Epoch], ev)
@@ -188,14 +251,20 @@ func Run(sc *Scenario, cfg Config) (*RunReport, error) {
 
 	in := sc.Base.Clone()
 	sess := core.NewSession(cfg.Solver, cfg.Policy.Stickiness, cfg.Policy.WarmStart)
-	rep := &RunReport{Scenario: sc.Name, Policy: cfg.Policy, Seed: sc.Seed, AllAuditOK: true}
+	rep := &RunReport{
+		Scenario: sc.Name, Policy: cfg.Policy, Seed: sc.Seed, AllAuditOK: true,
+		SLOWindow: cfg.SLOWindow, SLOTarget: cfg.SLOTarget, MinSLOWindow: 1,
+	}
+	sloOK := 0 // epochs in the current trailing window meeting the target
 
 	for e := 0; e < sc.Epochs; e++ {
 		er := EpochReport{Epoch: e}
 		for _, ev := range byEpoch[e] {
-			if err := ev.Delta.Apply(in); err != nil {
+			ds, err := ev.Delta.Apply(in)
+			if err != nil {
 				return nil, fmt.Errorf("live: epoch %d: %w", e, err)
 			}
+			sess.Observe(ds)
 			er.Events = append(er.Events, ev.Delta.Note)
 			er.Edits += ev.Delta.Size()
 		}
@@ -228,6 +297,57 @@ func Run(sc *Scenario, cfg Config) (*RunReport, error) {
 		er.FanoutFactor = res.Audit.FanoutFactor
 		er.MetDemand = res.Audit.MetDemand
 		er.AuditOK = res.AuditOK()
+		er.StageWallNS = make(map[string]int64, len(res.Stages))
+		for _, st := range res.Stages {
+			er.StageWallNS[st.Name] = st.Wall.Nanoseconds()
+		}
+		if res.Patch != nil {
+			er.LPPatches = res.Patch.Patches()
+			if res.Patch.Rebuilt {
+				er.LPRebuilds = 1
+			}
+		}
+		if si := res.ShardInfo; si != nil {
+			for _, n := range si.PerShardPatches {
+				er.LPPatches += n
+			}
+			for _, n := range si.PerShardRebuilds {
+				er.LPRebuilds += n
+			}
+			// Surface the per-shard model-construction cost under the same
+			// stage names the monolithic path reports, so lp-build/lp-patch
+			// accounting is uniform across solve paths (summed over
+			// concurrent shards).
+			if si.LPBuildNS > 0 {
+				er.StageWallNS["lp-build"] += si.LPBuildNS
+			}
+			if si.LPPatchNS > 0 {
+				er.StageWallNS["lp-patch"] += si.LPPatchNS
+			}
+		}
+
+		// Availability SLO: an epoch is available when at least SLOTarget
+		// of its active sinks meet their exact reliability threshold; the
+		// tracker reports the fraction of available epochs over a trailing
+		// window (the alerting-style view of §1.3's monitoring loop).
+		er.SLOOk = er.ActiveSinks == 0 ||
+			float64(er.MetDemand) >= cfg.SLOTarget*float64(er.ActiveSinks)-1e-9
+		if er.SLOOk {
+			sloOK++
+		} else {
+			rep.SLOBreaches++
+		}
+		if drop := e - cfg.SLOWindow; drop >= 0 && rep.Epochs[drop].SLOOk {
+			sloOK--
+		}
+		window := cfg.SLOWindow
+		if e+1 < window {
+			window = e + 1
+		}
+		er.SLOWindowFrac = float64(sloOK) / float64(window)
+		if er.SLOWindowFrac < rep.MinSLOWindow {
+			rep.MinSLOWindow = er.SLOWindowFrac
+		}
 
 		if cfg.SimPackets > 0 && e%cfg.SimEvery == 0 {
 			scfg := sim.DefaultConfig(sc.Seed + 0x5deece66d*uint64(e+1))
@@ -244,6 +364,8 @@ func Run(sc *Scenario, cfg Config) (*RunReport, error) {
 		rep.TotalReflectorChurn += er.ReflectorChurn
 		rep.TotalTrueCost += er.TrueCost
 		rep.TotalWallNS += er.WallNS
+		rep.TotalLPPatches += er.LPPatches
+		rep.TotalLPRebuilds += er.LPRebuilds
 		if !er.AuditOK {
 			rep.AllAuditOK = false
 		}

@@ -38,12 +38,24 @@ func TestAllScenariosRunClean(t *testing.T) {
 	}
 }
 
-// scrubWall zeroes the wall-clock fields, the only nondeterministic part of
-// a report.
+// scrubWall zeroes the wall-clock fields (including the per-stage
+// breakdown), the only nondeterministic part of a report.
 func scrubWall(rep *RunReport) {
 	rep.TotalWallNS = 0
 	for i := range rep.Epochs {
 		rep.Epochs[i].WallNS = 0
+		rep.Epochs[i].StageWallNS = nil
+	}
+}
+
+// scrubPatches additionally zeroes the incremental-rebuild counters, so an
+// incremental report can be compared field-for-field against a rebuild one.
+func scrubPatches(rep *RunReport) {
+	rep.TotalLPPatches = 0
+	rep.TotalLPRebuilds = 0
+	for i := range rep.Epochs {
+		rep.Epochs[i].LPPatches = 0
+		rep.Epochs[i].LPRebuilds = 0
 	}
 }
 
@@ -178,9 +190,11 @@ func TestSessionCarriesDeployment(t *testing.T) {
 		t.Fatal("session did not deploy the first design")
 	}
 	for _, ev := range sc.Events {
-		if err := ev.Delta.Apply(in); err != nil {
+		ds, err := ev.Delta.Apply(in)
+		if err != nil {
 			t.Fatal(err)
 		}
+		sess.Observe(ds)
 	}
 	if _, err := sess.Step(in); err != nil {
 		t.Fatal(err)

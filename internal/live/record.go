@@ -1,0 +1,44 @@
+package live
+
+// Scenario recording and replay. A Scenario is already a plain data object
+// — a base instance plus a timed schedule of JSON-able netmodel.Deltas — so
+// serializing it turns any workload into a replayable trace: record a
+// synthetic scenario (or, operationally, a measurement feed translated into
+// Deltas) once, then replay the identical timeline against candidate
+// policies, solver options, or shard counts. overlaylive exposes this as
+// -record / -replay.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteScenario serializes the scenario as indented JSON.
+func WriteScenario(w io.Writer, sc *Scenario) error {
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(sc, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// ReadScenario deserializes and validates a scenario written by
+// WriteScenario: the base instance must be a valid netmodel.Instance and
+// every event's delta must be in range for it, so a replayed trace fails
+// loudly at load time rather than mid-timeline.
+func ReadScenario(r io.Reader) (*Scenario, error) {
+	var sc Scenario
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("live: decoding scenario: %w", err)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}

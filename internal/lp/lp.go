@@ -163,11 +163,112 @@ func (p *Problem) AddConstraint(rel Rel, rhs float64, coefs ...Coef) int {
 // to solve from multiple goroutines concurrently — SolveOpts only reads the
 // rows, bounds, costs, and cache — which is how per-shard re-solves and
 // stress tests share one Problem. Adding a constraint invalidates the cache,
-// so call Precompute again after the last AddConstraint.
+// so call Precompute again after the last AddConstraint. In-place value
+// patches (SetRowCoef, SetRHS) keep the cache fresh instead of invalidating
+// it — that is what makes delta-sized model updates cheap.
 func (p *Problem) Precompute() {
 	if p.csc == nil {
 		p.csc = buildCSC(p)
 	}
+}
+
+// --- In-place patch API -------------------------------------------------
+//
+// The incremental LP rebuild (lpmodel.Patcher) re-uses one Problem across
+// re-optimization epochs, rewriting only the coefficients, right-hand
+// sides, bounds, and objective entries that a churn delta touched. Patches
+// change VALUES only — the sparsity pattern (which (row, var) pairs exist)
+// is fixed at AddConstraint time — so the cached CSC matrix is refreshed in
+// place rather than rebuilt, and a warm-start Basis captured before the
+// patch remains shape-compatible afterwards. The basis FACTORIZATION is not
+// persisted across solves: each warm solve refactorizes at install, so a
+// patched column that happens to be basic is picked up there with no extra
+// invalidation protocol.
+//
+// Patches must not race with concurrent solves of the same Problem (the
+// shared-CSC concurrency guarantee of Precompute covers readers only).
+
+// SetRHS replaces the right-hand side of row r. The constraint matrix and
+// its CSC cache are untouched.
+func (p *Problem) SetRHS(r int, rhs float64) {
+	p.rows[r].rhs = rhs
+}
+
+// RHS returns the relation and right-hand side of row r.
+func (p *Problem) RHS(r int) (Rel, float64) {
+	return p.rows[r].rel, p.rows[r].rhs
+}
+
+// SetRowCoef replaces the value of the pos-th coefficient of row r (the
+// position within the Coef list passed to AddConstraint), updating the
+// cached CSC entry in place when the cache is built. It reports whether the
+// stored value actually changed, so callers can count real patches.
+//
+// If the CSC entry cannot be located unambiguously (the row listed the same
+// variable twice — no overlay model does), the cache is invalidated and
+// rebuilt lazily on the next solve; correctness is preserved either way.
+func (p *Problem) SetRowCoef(r, pos int, v float64) bool {
+	c := &p.rows[r].coefs[pos]
+	if c.Val == v {
+		return false
+	}
+	c.Val = v
+	if p.csc != nil {
+		if q := p.csc.find(c.Var, int32(r)); q >= 0 {
+			p.csc.val[q] = v
+		} else {
+			p.csc = nil
+		}
+	}
+	return true
+}
+
+// RowCoef returns the pos-th coefficient of row r.
+func (p *Problem) RowCoef(r, pos int) Coef {
+	return p.rows[r].coefs[pos]
+}
+
+// RowLen returns the number of coefficients of row r.
+func (p *Problem) RowLen(r int) int {
+	return len(p.rows[r].coefs)
+}
+
+// RowCoefs returns a copy of row r's coefficient list (test/diagnostic use).
+func (p *Problem) RowCoefs(r int) []Coef {
+	return append([]Coef(nil), p.rows[r].coefs...)
+}
+
+// ObjectiveCoef returns the objective coefficient of variable j.
+func (p *Problem) ObjectiveCoef(j int) float64 {
+	return p.obj[j]
+}
+
+// CheckCSCSync verifies that the cached CSC matrix (if built) agrees with
+// the row storage entry by entry — the invariant the in-place patch API
+// maintains. Tests call it after patch sequences; a nil cache trivially
+// passes (it will be rebuilt from the rows).
+func (p *Problem) CheckCSCSync() error {
+	if p.csc == nil {
+		return nil
+	}
+	want := buildCSC(p)
+	if len(want.val) != len(p.csc.val) {
+		return fmt.Errorf("lp: csc has %d entries, rows imply %d", len(p.csc.val), len(want.val))
+	}
+	for j := 0; j < p.n; j++ {
+		if want.colPtr[j+1] != p.csc.colPtr[j+1] {
+			return fmt.Errorf("lp: csc column %d pointer mismatch", j)
+		}
+	}
+	for q := range want.val {
+		if want.rowIdx[q] != p.csc.rowIdx[q] {
+			return fmt.Errorf("lp: csc entry %d row mismatch: %d vs %d", q, p.csc.rowIdx[q], want.rowIdx[q])
+		}
+		if want.val[q] != p.csc.val[q] {
+			return fmt.Errorf("lp: csc entry %d value mismatch: %g vs %g", q, p.csc.val[q], want.val[q])
+		}
+	}
+	return nil
 }
 
 // Status reports the outcome of a solve.

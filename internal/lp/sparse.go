@@ -55,6 +55,29 @@ func buildCSC(p *Problem) *cscMatrix {
 // colNNZ returns the entry count of structural column j.
 func (c *cscMatrix) colNNZ(j int) int { return int(c.colPtr[j+1] - c.colPtr[j]) }
 
+// find returns the arena index of the (row r, column j) entry, or -1 when
+// the entry does not exist or is ambiguous (duplicate (row, var) pairs in
+// one constraint). Within a column buildCSC emits entries in ascending row
+// order — rows are scanned 0..m — so a binary search suffices.
+func (c *cscMatrix) find(j int, r int32) int {
+	lo, hi := int(c.colPtr[j]), int(c.colPtr[j+1])
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.rowIdx[mid] < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= int(c.colPtr[j+1]) || c.rowIdx[lo] != r {
+		return -1
+	}
+	if lo+1 < int(c.colPtr[j+1]) && c.rowIdx[lo+1] == r {
+		return -1 // duplicate entries: caller must fall back to a rebuild
+	}
+	return lo
+}
+
 // etaFile is a sequence of elementary (eta) matrices — identity with one
 // replaced column — stored in one shared arena so refactorization allocates
 // nothing after warm-up. The basis inverse is kept in elimination form:

@@ -56,10 +56,13 @@ type Options struct {
 	WarmStart *lp.Basis
 	// FixedShape emits the reliability covering row (5) for every sink,
 	// including zero-demand (inactive) ones, whose rows degenerate to the
-	// trivially satisfied 0 ≥ 0. This pins the LP shape to the instance
-	// dimensions alone, so a simplex basis stays warm-start compatible
-	// across sink join/leave churn (the live engine's workload). Off by
-	// default: static solves skip the dead rows.
+	// trivially satisfied 0 ≥ 0 (their coefficients are structural zeros,
+	// arithmetic no-ops for the simplex). This pins both the LP shape AND
+	// the constraint-matrix sparsity pattern to the instance dimensions
+	// alone, so a simplex basis stays warm-start compatible across sink
+	// join/leave churn and a Patcher can refresh coefficients in place
+	// (the live engine's workload). Off by default: static solves skip the
+	// dead rows.
 	FixedShape bool
 }
 
@@ -175,12 +178,19 @@ func Build(in *netmodel.Instance, opts Options) (*lp.Problem, *VarMap) {
 			}
 		}
 	}
-	// (5) reliability covering with capped weights.
+	// (5) reliability covering with capped weights. Under FixedShape the
+	// SPARSITY PATTERN is pinned too, not just the row count: every sink's
+	// row carries all R coefficients, with structural zeros (arithmetic
+	// no-ops for the simplex) standing in for inactive sinks. Sink
+	// join/leave churn then changes coefficient VALUES only, which is what
+	// lets the Patcher refresh the shared CSC in place instead of
+	// rebuilding it.
 	for j := 0; j < D; j++ {
+		if opts.FixedShape {
+			p.AddConstraint(lp.GE, coveringRHS(in, j), coveringCoefs(in, m, j)...)
+			continue
+		}
 		if in.Threshold[j] <= 0 {
-			if opts.FixedShape {
-				p.AddConstraint(lp.GE, 0)
-			}
 			continue
 		}
 		coefs := make([]lp.Coef, 0, R)
@@ -224,6 +234,34 @@ func Build(in *netmodel.Instance, opts Options) (*lp.Problem, *VarMap) {
 		}
 	}
 	return p, m
+}
+
+// coveringRHS returns the right-hand side of sink j's fixed-shape covering
+// row: the weight demand W_j for active sinks, 0 (trivially satisfied) for
+// inactive ones.
+func coveringRHS(in *netmodel.Instance, j int) float64 {
+	if in.Threshold[j] <= 0 {
+		return 0
+	}
+	return in.Demand(j)
+}
+
+// coveringCoefs fills sink j's fixed-shape covering row: position i always
+// holds variable X(i,j), with value CappedWeight(i,j) when the sink is
+// active and 0 otherwise. The Patcher relies on this positional layout
+// (patchCoverings rewrites cell i of row j in place through SetRowCoef).
+func coveringCoefs(in *netmodel.Instance, m *VarMap, j int) []lp.Coef {
+	R := m.R
+	coefs := make([]lp.Coef, R)
+	active := in.Threshold[j] > 0
+	for i := 0; i < R; i++ {
+		v := 0.0
+		if active {
+			v = in.CappedWeight(i, j)
+		}
+		coefs[i] = lp.Coef{Var: m.X(i, j), Val: v}
+	}
+	return coefs
 }
 
 // FracSolution is a structured fractional solution of the LP relaxation.

@@ -134,40 +134,57 @@ func (d *Delta) Validate(in *Instance) error {
 	return check(d.ScaleRefSinkLoss, R, D, "ref-sink loss", true, false)
 }
 
-// Apply validates the delta and applies it to the instance in place. On
-// error the instance is untouched. Scaled loss probabilities saturate at 1.
-func (d *Delta) Apply(in *Instance) error {
+// Apply validates the delta, applies it to the instance in place, and
+// returns the dirty set the edits touched — the currency the incremental LP
+// rebuild (lpmodel.Patcher) consumes instead of rescanning the instance. On
+// error the instance is untouched and the dirty set is nil. Scaled loss
+// probabilities saturate at 1.
+//
+// The report lists every edit, including ones that happened to rewrite the
+// value already present (re-patching is idempotent); what it guarantees is
+// the converse — every cell the delta changed is listed.
+func (d *Delta) Apply(in *Instance) (*DirtySet, error) {
 	if err := d.Validate(in); err != nil {
-		return err
+		return nil, err
 	}
+	ds := &DirtySet{}
 	for _, e := range d.SetThreshold {
 		in.Threshold[e.Sink] = e.Value
+		ds.SinkDemand = append(ds.SinkDemand, e.Sink)
 	}
 	for _, e := range d.SetFanout {
 		in.Fanout[e.Ref] = e.Value
+		ds.Fanout = append(ds.Fanout, e.Ref)
 	}
 	for _, e := range d.ScaleReflectorCost {
 		in.ReflectorCost[e.Ref] = saturateCost(in.ReflectorCost[e.Ref] * e.Value)
+		ds.ReflectorCost = append(ds.ReflectorCost, e.Ref)
 	}
 	for _, e := range d.ScaleSrcRefCost {
 		in.SrcRefCost[e.A][e.B] = saturateCost(in.SrcRefCost[e.A][e.B] * e.Value)
+		ds.SrcRefCost = append(ds.SrcRefCost, Arc{A: e.A, B: e.B})
 	}
 	for _, e := range d.ScaleRefSinkCost {
 		in.RefSinkCost[e.A][e.B] = saturateCost(in.RefSinkCost[e.A][e.B] * e.Value)
+		ds.RefSinkCost = append(ds.RefSinkCost, Arc{A: e.A, B: e.B})
 	}
 	for _, e := range d.SetSrcRefLoss {
 		in.SrcRefLoss[e.A][e.B] = e.Value
+		ds.SrcRefLoss = append(ds.SrcRefLoss, Arc{A: e.A, B: e.B})
 	}
 	for _, e := range d.SetRefSinkLoss {
 		in.RefSinkLoss[e.A][e.B] = e.Value
+		ds.RefSinkLoss = append(ds.RefSinkLoss, Arc{A: e.A, B: e.B})
 	}
 	for _, e := range d.ScaleSrcRefLoss {
 		in.SrcRefLoss[e.A][e.B] = saturate1(in.SrcRefLoss[e.A][e.B] * e.Value)
+		ds.SrcRefLoss = append(ds.SrcRefLoss, Arc{A: e.A, B: e.B})
 	}
 	for _, e := range d.ScaleRefSinkLoss {
 		in.RefSinkLoss[e.A][e.B] = saturate1(in.RefSinkLoss[e.A][e.B] * e.Value)
+		ds.RefSinkLoss = append(ds.RefSinkLoss, Arc{A: e.A, B: e.B})
 	}
-	return nil
+	return ds, nil
 }
 
 func saturate1(v float64) float64 {

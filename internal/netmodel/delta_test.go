@@ -42,8 +42,12 @@ func TestDeltaApply(t *testing.T) {
 	if d.Empty() || d.Size() != 9 {
 		t.Fatalf("Size = %d, want 9", d.Size())
 	}
-	if err := d.Apply(in); err != nil {
+	ds, err := d.Apply(in)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if ds.Size() != 9 {
+		t.Fatalf("dirty set size = %d, want 9 (one entry per edit)", ds.Size())
 	}
 	if in.Threshold[1] != 0 || in.Threshold[2] != 0.95 {
 		t.Fatalf("thresholds not applied: %v", in.Threshold)
@@ -85,8 +89,10 @@ func TestDeltaRejectsAndLeavesUntouched(t *testing.T) {
 	for i, d := range cases {
 		in := deltaTestInstance()
 		before := in.Clone()
-		if err := d.Apply(in); err == nil {
+		if ds, err := d.Apply(in); err == nil {
 			t.Fatalf("case %d: bad delta accepted", i)
+		} else if ds != nil {
+			t.Fatalf("case %d: rejected delta reported a dirty set", i)
 		} else if !strings.Contains(err.Error(), "delta") {
 			t.Fatalf("case %d: unexpected error %v", i, err)
 		}
@@ -104,15 +110,94 @@ func TestDeltaEmpty(t *testing.T) {
 		t.Fatal("note-only delta must be empty")
 	}
 	in := deltaTestInstance()
-	if err := d.Apply(in); err != nil {
+	ds, err := d.Apply(in)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if !ds.Empty() {
+		t.Fatal("empty delta reported a non-empty dirty set")
 	}
 }
 
 func TestDeltaRejectsInfiniteFanout(t *testing.T) {
 	in := deltaTestInstance()
 	d := Delta{SetFanout: []RefValue{{Ref: 0, Value: math.Inf(1)}}}
-	if err := d.Apply(in); err == nil {
+	if _, err := d.Apply(in); err == nil {
 		t.Fatal("infinite fanout accepted")
+	}
+}
+
+// TestDeltaApplyDirtyCategories pins the edit→category mapping: each delta
+// field must land its entries in the DirtySet field the Patcher expects.
+func TestDeltaApplyDirtyCategories(t *testing.T) {
+	in := deltaTestInstance()
+	d := &Delta{
+		SetThreshold:     []SinkValue{{Sink: 3, Value: 0.5}},
+		SetFanout:        []RefValue{{Ref: 2, Value: 7}},
+		ScaleSrcRefCost:  []ArcValue{{A: 1, B: 2, Value: 2}},
+		ScaleRefSinkLoss: []ArcValue{{A: 0, B: 1, Value: 0.5}},
+		ScaleSrcRefLoss:  []ArcValue{{A: 1, B: 0, Value: 2}},
+	}
+	ds, err := d.Apply(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.SinkDemand) != 1 || ds.SinkDemand[0] != 3 {
+		t.Fatalf("SinkDemand = %v", ds.SinkDemand)
+	}
+	if len(ds.Fanout) != 1 || ds.Fanout[0] != 2 {
+		t.Fatalf("Fanout = %v", ds.Fanout)
+	}
+	if len(ds.SrcRefCost) != 1 || ds.SrcRefCost[0] != (Arc{A: 1, B: 2}) {
+		t.Fatalf("SrcRefCost = %v", ds.SrcRefCost)
+	}
+	if len(ds.RefSinkLoss) != 1 || ds.RefSinkLoss[0] != (Arc{A: 0, B: 1}) {
+		t.Fatalf("RefSinkLoss = %v", ds.RefSinkLoss)
+	}
+	if len(ds.SrcRefLoss) != 1 || ds.SrcRefLoss[0] != (Arc{A: 1, B: 0}) {
+		t.Fatalf("SrcRefLoss = %v", ds.SrcRefLoss)
+	}
+	// Merge + Empty behave as a set accumulator.
+	all := &DirtySet{}
+	all.Merge(ds)
+	all.Merge(nil)
+	all.Merge(ds)
+	if all.Size() != 2*ds.Size() {
+		t.Fatalf("merged size = %d, want %d", all.Size(), 2*ds.Size())
+	}
+}
+
+// TestDiffDesigns checks the bias-flip report: only cells whose membership
+// in the deployed design changed are listed, and nil designs behave as
+// "nothing deployed".
+func TestDiffDesigns(t *testing.T) {
+	in := deltaTestInstance()
+	a := NewDesign(in)
+	a.Serve[0][1] = true
+	a.Normalize(in)
+	if ds := DiffDesigns(nil, nil); ds != nil {
+		t.Fatal("nil→nil must report nothing")
+	}
+	ds := DiffDesigns(nil, a)
+	if len(ds.RefSinkCost) != 1 || ds.RefSinkCost[0] != (Arc{A: 0, B: 1}) {
+		t.Fatalf("first deployment serve flips = %v", ds.RefSinkCost)
+	}
+	if len(ds.ReflectorCost) != 1 || ds.ReflectorCost[0] != 0 {
+		t.Fatalf("first deployment build flips = %v", ds.ReflectorCost)
+	}
+	b := a.Clone()
+	b.Serve[2][3] = true
+	b.Normalize(in)
+	ds = DiffDesigns(a, b)
+	if len(ds.RefSinkCost) != 1 || ds.RefSinkCost[0] != (Arc{A: 2, B: 3}) {
+		t.Fatalf("a→b serve flips = %v", ds.RefSinkCost)
+	}
+	if ds2 := DiffDesigns(b, b.Clone()); ds2 != nil {
+		t.Fatalf("identical designs must report nothing, got %+v", ds2)
+	}
+	// Un-deploying flips the same cells back.
+	back := DiffDesigns(b, a)
+	if len(back.RefSinkCost) != 1 || back.RefSinkCost[0] != (Arc{A: 2, B: 3}) {
+		t.Fatalf("b→a serve flips = %v", back.RefSinkCost)
 	}
 }

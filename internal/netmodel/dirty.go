@@ -1,0 +1,117 @@
+package netmodel
+
+// Arc names one (A, B) cell of a source→reflector or reflector→sink matrix;
+// the meaning of the pair follows the DirtySet field it appears in.
+type Arc struct {
+	A int `json:"a"`
+	B int `json:"b"`
+}
+
+// DirtySet reports which parts of an Instance a mutation touched, in LP
+// terms: it is the contract between the churn surface (Delta.Apply, the
+// stickiness bias of core.Reoptimize) and the incremental LP rebuild
+// (lpmodel.Patcher), which translates each category into the matrix, bound,
+// rhs, and objective cells it must refresh instead of rebuilding the whole
+// model. Entries are a SUPERSET of what actually changed: an edit that
+// happens to write the value already present is still listed (re-patching is
+// idempotent), but an actual change MUST be listed — a mutation the set
+// omits leaves a patched LP stale, which the golden equivalence tests lock
+// out for the delta flow.
+//
+// Entries may repeat; consumers treat the lists as sets.
+type DirtySet struct {
+	// SinkDemand lists sinks whose Threshold changed: their covering row's
+	// rhs (the demand W_j) and every capped weight in the row move.
+	SinkDemand []int `json:"sink_demand,omitempty"`
+	// Fanout lists reflectors whose Fanout changed: the -F_i coefficients
+	// of constraint (3) and the per-commodity cutting planes (4).
+	Fanout []int `json:"fanout,omitempty"`
+	// ReflectorCost lists reflectors whose build cost changed (z objective).
+	ReflectorCost []int `json:"reflector_cost,omitempty"`
+	// SrcRefCost lists (source, reflector) arcs whose cost changed
+	// (y objective); RefSinkCost lists (reflector, sink) arcs (x objective).
+	SrcRefCost  []Arc `json:"src_ref_cost,omitempty"`
+	RefSinkCost []Arc `json:"ref_sink_cost,omitempty"`
+	// SrcRefLoss lists (source, reflector) arcs whose loss changed: the
+	// capped weight of every sink of that commodity moves at that
+	// reflector. RefSinkLoss lists (reflector, sink) arcs: one capped
+	// weight moves.
+	SrcRefLoss  []Arc `json:"src_ref_loss,omitempty"`
+	RefSinkLoss []Arc `json:"ref_sink_loss,omitempty"`
+}
+
+// Empty reports whether the set lists nothing.
+func (d *DirtySet) Empty() bool {
+	return d == nil || d.Size() == 0
+}
+
+// Size returns the number of listed entries (with multiplicity).
+func (d *DirtySet) Size() int {
+	if d == nil {
+		return 0
+	}
+	return len(d.SinkDemand) + len(d.Fanout) + len(d.ReflectorCost) +
+		len(d.SrcRefCost) + len(d.RefSinkCost) + len(d.SrcRefLoss) + len(d.RefSinkLoss)
+}
+
+// Merge appends every entry of o into d (set semantics make duplicates
+// harmless). A nil o is a no-op.
+func (d *DirtySet) Merge(o *DirtySet) {
+	if o == nil {
+		return
+	}
+	d.SinkDemand = append(d.SinkDemand, o.SinkDemand...)
+	d.Fanout = append(d.Fanout, o.Fanout...)
+	d.ReflectorCost = append(d.ReflectorCost, o.ReflectorCost...)
+	d.SrcRefCost = append(d.SrcRefCost, o.SrcRefCost...)
+	d.RefSinkCost = append(d.RefSinkCost, o.RefSinkCost...)
+	d.SrcRefLoss = append(d.SrcRefLoss, o.SrcRefLoss...)
+	d.RefSinkLoss = append(d.RefSinkLoss, o.RefSinkLoss...)
+}
+
+// DiffDesigns returns the cost cells whose stickiness discount flips when
+// the deployed design moves from prev to next: Build flips touch the z
+// objective, Ingest flips the y objective, Serve flips the x objective. A
+// nil design means "no deployment" (nothing discounted), so the first
+// deployment dirties exactly its own arcs. Both designs must be shaped for
+// the same instance. Returns nil when nothing flips.
+//
+// core.Session feeds the result into the epoch's DirtySet so the Patcher
+// refreshes the biased objective without rescanning every cost.
+func DiffDesigns(prev, next *Design) *DirtySet {
+	if prev == nil && next == nil {
+		return nil
+	}
+	ds := &DirtySet{}
+	builds := func(d *Design, i int) bool { return d != nil && d.Build[i] }
+	ingests := func(d *Design, k, i int) bool { return d != nil && d.Ingest[k][i] }
+	serves := func(d *Design, i, j int) bool { return d != nil && d.Serve[i][j] }
+
+	ref := prev
+	if ref == nil {
+		ref = next
+	}
+	for i := range ref.Build {
+		if builds(prev, i) != builds(next, i) {
+			ds.ReflectorCost = append(ds.ReflectorCost, i)
+		}
+	}
+	for k := range ref.Ingest {
+		for i := range ref.Ingest[k] {
+			if ingests(prev, k, i) != ingests(next, k, i) {
+				ds.SrcRefCost = append(ds.SrcRefCost, Arc{A: k, B: i})
+			}
+		}
+	}
+	for i := range ref.Serve {
+		for j := range ref.Serve[i] {
+			if serves(prev, i, j) != serves(next, i, j) {
+				ds.RefSinkCost = append(ds.RefSinkCost, Arc{A: i, B: j})
+			}
+		}
+	}
+	if ds.Empty() {
+		return nil
+	}
+	return ds
+}

@@ -82,13 +82,18 @@ func FuzzDeltaApply(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := d.Apply(in); err != nil {
+		snapshot := in.Clone()
+		ds, err := d.Apply(in)
+		if err != nil {
 			after, merr := json.Marshal(in)
 			if merr != nil {
 				t.Fatal(merr)
 			}
 			if !bytes.Equal(before, after) {
 				t.Fatalf("Apply returned %v but mutated the instance", err)
+			}
+			if ds != nil {
+				t.Fatalf("Apply returned %v and a dirty set", err)
 			}
 			return
 		}
@@ -99,5 +104,66 @@ func FuzzDeltaApply(f *testing.F) {
 		if s, r, dd := in.Dims(); s != base.NumSources || r != base.NumReflectors || dd != base.NumSinks {
 			t.Fatalf("delta changed dimensions to (%d,%d,%d)", s, r, dd)
 		}
+		checkDirtyComplete(t, snapshot, in, ds)
 	})
+}
+
+// checkDirtyComplete asserts the dirty-set contract the incremental LP
+// rebuild depends on: every cell Apply actually changed must be listed in
+// the reported set (the set may over-report, never under-report). A missed
+// cell would leave a patched LP silently stale.
+func checkDirtyComplete(t *testing.T, before, after *netmodel.Instance, ds *netmodel.DirtySet) {
+	t.Helper()
+	if ds == nil {
+		ds = &netmodel.DirtySet{}
+	}
+	inInts := func(list []int, x int) bool {
+		for _, v := range list {
+			if v == x {
+				return true
+			}
+		}
+		return false
+	}
+	inArcs := func(list []netmodel.Arc, a, b int) bool {
+		for _, v := range list {
+			if v.A == a && v.B == b {
+				return true
+			}
+		}
+		return false
+	}
+	for j := range before.Threshold {
+		if before.Threshold[j] != after.Threshold[j] && !inInts(ds.SinkDemand, j) {
+			t.Fatalf("threshold of sink %d changed but is not in SinkDemand %v", j, ds.SinkDemand)
+		}
+	}
+	for i := range before.Fanout {
+		if before.Fanout[i] != after.Fanout[i] && !inInts(ds.Fanout, i) {
+			t.Fatalf("fanout of reflector %d changed but is not in Fanout %v", i, ds.Fanout)
+		}
+		if before.ReflectorCost[i] != after.ReflectorCost[i] && !inInts(ds.ReflectorCost, i) {
+			t.Fatalf("cost of reflector %d changed but is not in ReflectorCost %v", i, ds.ReflectorCost)
+		}
+	}
+	for k := range before.SrcRefCost {
+		for i := range before.SrcRefCost[k] {
+			if before.SrcRefCost[k][i] != after.SrcRefCost[k][i] && !inArcs(ds.SrcRefCost, k, i) {
+				t.Fatalf("src-ref cost (%d,%d) changed but is not in SrcRefCost", k, i)
+			}
+			if before.SrcRefLoss[k][i] != after.SrcRefLoss[k][i] && !inArcs(ds.SrcRefLoss, k, i) {
+				t.Fatalf("src-ref loss (%d,%d) changed but is not in SrcRefLoss", k, i)
+			}
+		}
+	}
+	for i := range before.RefSinkCost {
+		for j := range before.RefSinkCost[i] {
+			if before.RefSinkCost[i][j] != after.RefSinkCost[i][j] && !inArcs(ds.RefSinkCost, i, j) {
+				t.Fatalf("ref-sink cost (%d,%d) changed but is not in RefSinkCost", i, j)
+			}
+			if before.RefSinkLoss[i][j] != after.RefSinkLoss[i][j] && !inArcs(ds.RefSinkLoss, i, j) {
+				t.Fatalf("ref-sink loss (%d,%d) changed but is not in RefSinkLoss", i, j)
+			}
+		}
+	}
 }

@@ -48,6 +48,7 @@ package shard
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/lp"
@@ -88,14 +89,18 @@ func (o Options) withDefaults() Options {
 
 // State is the warm-start currency of the sharded path across live epochs:
 // the partition (so per-shard LP shapes stay identical), the last capacity
-// allocation (so the split adapts instead of restarting from affinity), and
-// one simplex basis per shard. A State from a differently-shaped instance or
-// a different shard count is detected and ignored.
+// allocation (so the split adapts instead of restarting from affinity), one
+// simplex basis per shard, and — under the incremental LP rebuild — one
+// lpmodel.Patcher per shard, carrying each shard's built LP so a churn
+// epoch patches only the shards its dirty set routes to. A State from a
+// differently-shaped instance or a different shard count is detected and
+// ignored.
 type State struct {
-	S, R, D int
-	Sinks   [][]int
-	Alloc   [][]float64
-	Bases   []*lp.Basis
+	S, R, D  int
+	Sinks    [][]int
+	Alloc    [][]float64
+	Bases    []*lp.Basis
+	Patchers []*lpmodel.Patcher
 }
 
 // compatible reports whether the state can seed a solve of in with k shards.
@@ -129,6 +134,13 @@ type SolveResult struct {
 	Retries     int
 	Vars, Rows  int
 	Basis       *lp.Basis
+	// Patch reports what the shard's incremental LP rebuild did (nil when
+	// the shard solved without a Patcher).
+	Patch *lpmodel.PatchStats
+	// BuildWallNS / PatchWallNS are the shard's lp-build / lp-patch stage
+	// walls (the inner pipeline's model-construction cost, invisible to
+	// the outer shard-solve stage timing otherwise).
+	BuildWallNS, PatchWallNS int64
 }
 
 // SolveFunc solves one shard: s is the shard index (for seed mixing), sub
@@ -155,6 +167,17 @@ type Plan struct {
 	settled      []bool      // shard re-solved with more capacity and didn't improve
 	pivots       []int       // cumulative simplex iterations per shard, all rounds
 	warmBases    []*lp.Basis // per-shard bases from a previous epoch's State
+	patched      []int       // cumulative LP cells patched per shard, all rounds
+	rebuilds     []int       // full LP builds per shard, all rounds
+	buildNS      []int64     // lp-build wall per shard, all rounds
+	patchNS      []int64     // lp-patch wall per shard, all rounds
+
+	// Patchers holds one incremental-rebuild state per shard, reused from a
+	// compatible previous-epoch State and carried forward in the Outcome's
+	// State. The caller's SolveFunc wires Patchers[s] into its per-shard
+	// solve; nil entries mean the shard (re)builds from scratch. Writes to
+	// distinct entries from concurrent per-shard solves are safe.
+	Patchers []*lpmodel.Patcher
 }
 
 // traceRounds dumps coordination rounds to stdout (debug builds only).
@@ -224,11 +247,17 @@ func Prepare(in *netmodel.Instance, opts Options, state *State) (*Plan, error) {
 		if len(state.Bases) == len(state.Sinks) {
 			p.warmBases = state.Bases
 		}
+		if len(state.Patchers) == len(state.Sinks) {
+			p.Patchers = state.Patchers
+		}
 	} else {
 		state = nil
 		p.Sinks = PartitionSinks(in, opts.Shards)
 	}
 	k := len(p.Sinks)
+	if p.Patchers == nil {
+		p.Patchers = make([]*lpmodel.Patcher, k)
+	}
 	p.computeAffinity()
 	if state != nil {
 		p.Alloc = rescaleAlloc(state.Alloc, in.Fanout, p.aff)
@@ -244,6 +273,10 @@ func Prepare(in *netmodel.Instance, opts Options, state *State) (*Plan, error) {
 	p.starveRounds = make([]int, k)
 	p.settled = make([]bool, k)
 	p.pivots = make([]int, k)
+	p.patched = make([]int, k)
+	p.rebuilds = make([]int, k)
+	p.buildNS = make([]int64, k)
+	p.patchNS = make([]int64, k)
 	return p, nil
 }
 
@@ -312,7 +345,11 @@ func allocFromAffinity(aff [][]float64, fanout []float64) [][]float64 {
 // rescaleAlloc adapts a previous epoch's allocation to the instance's
 // current fanouts: each reflector keeps its learned split, rescaled to the
 // new F_i; a reflector whose previous total was zero (it was failed) falls
-// back to the affinity split.
+// back to the affinity split. A reflector whose fanout did not move (the
+// previous split already sums to it, up to accumulated rounding) keeps its
+// split bit-for-bit — re-normalizing would perturb every shard's allocation
+// by an ulp and make the incremental LP rebuild patch fanout coefficients
+// in shards the epoch never touched.
 func rescaleAlloc(prev [][]float64, fanout []float64, aff [][]float64) [][]float64 {
 	k := len(prev)
 	R := len(fanout)
@@ -326,10 +363,14 @@ func rescaleAlloc(prev [][]float64, fanout []float64, aff [][]float64) [][]float
 		for s := 0; s < k; s++ {
 			tot += prev[s][i]
 		}
+		unchanged := math.Abs(fanout[i]-tot) <= 1e-9*(1+math.Abs(fanout[i]))
 		for s := 0; s < k; s++ {
-			if tot > 0 {
+			switch {
+			case tot > 0 && unchanged:
+				alloc[s][i] = prev[s][i]
+			case tot > 0:
 				alloc[s][i] = fanout[i] * prev[s][i] / tot
-			} else {
+			default:
 				alloc[s][i] = fresh[s][i]
 			}
 		}
@@ -436,6 +477,14 @@ func (p *Plan) solveShards(idx []int, solve SolveFunc) error {
 			p.results[s] = res
 			p.starved[s] = false
 			p.pivots[s] += res.Pivots
+			if res.Patch != nil {
+				p.patched[s] += res.Patch.Patches()
+				if res.Patch.Rebuilt {
+					p.rebuilds[s]++
+				}
+			}
+			p.buildNS[s] += res.BuildWallNS
+			p.patchNS[s] += res.PatchWallNS
 		case errors.Is(err, lpmodel.ErrInfeasible):
 			// Starvation — unless the shard already holds a design from a
 			// previous round. rebid reserves a feasible shard's realized
@@ -485,6 +534,14 @@ type Outcome struct {
 	ConsolidatedBuilds int
 	// PerShardPivots breaks Pivots down by shard.
 	PerShardPivots []int
+	// PerShardPatches counts the LP cells each shard's Patcher rewrote
+	// (all rounds of this solve); PerShardRebuilds the full builds. Zeros
+	// for shards the epoch's dirty sets never reached.
+	PerShardPatches  []int
+	PerShardRebuilds []int
+	// LPBuildNS / LPPatchNS sum the per-shard lp-build / lp-patch stage
+	// walls (CPU-style totals across concurrent shards, not elapsed wall).
+	LPBuildNS, LPPatchNS int64
 	// State seeds the next same-shaped solve.
 	State *State
 }
@@ -556,7 +613,7 @@ func (p *Plan) Coordinate(solve SolveFunc) (*Outcome, error) {
 	design := p.Merge()
 	out.ConsolidatedBuilds = Consolidate(in, design)
 	out.Design = design
-	st := &State{Sinks: p.Sinks, Alloc: p.Alloc, Bases: make([]*lp.Basis, k)}
+	st := &State{Sinks: p.Sinks, Alloc: p.Alloc, Bases: make([]*lp.Basis, k), Patchers: p.Patchers}
 	st.S, st.R, st.D = in.Dims()
 	for s, r := range p.results {
 		out.LPCost += r.LPCost
@@ -569,6 +626,12 @@ func (p *Plan) Coordinate(solve SolveFunc) (*Outcome, error) {
 	out.PerShardPivots = append([]int(nil), p.pivots...)
 	for _, piv := range out.PerShardPivots {
 		out.Pivots += piv
+	}
+	out.PerShardPatches = append([]int(nil), p.patched...)
+	out.PerShardRebuilds = append([]int(nil), p.rebuilds...)
+	for s := range p.buildNS {
+		out.LPBuildNS += p.buildNS[s]
+		out.LPPatchNS += p.patchNS[s]
 	}
 	out.State = st
 	return out, nil
@@ -749,4 +812,3 @@ func (p *Plan) Merge() *netmodel.Design {
 	d.Normalize(p.In)
 	return d
 }
-
