@@ -23,6 +23,13 @@
 //
 //	overlaybench -incrjson BENCH_incr.json
 //
+// The multi-stream accounting sweep (the L6 workload: native viewer churn
+// vs the paper's copy-split WLOG) writes BENCH_multistream.json, and the CI
+// artifact mode regenerates every sweep into one directory:
+//
+//	overlaybench -multijson BENCH_multistream.json
+//	overlaybench -quick -benchjson bench-artifacts/
+//
 // Each size solves with 8 shards, then attempts the monolithic reference in
 // a subprocess killed at -monodeadline: at 2000 sinks the monolithic
 // simplex does not terminate, so the record shows the deadline forfeit
@@ -35,6 +42,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -45,6 +53,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/gen"
 	"repro/internal/live"
+	"repro/internal/lpmodel"
 	"repro/internal/netmodel"
 )
 
@@ -59,6 +68,8 @@ func main() {
 		monoDL    = flag.Duration("monodeadline", 60*time.Second, "wall budget per monolithic reference solve in the -shardjson sweep")
 		monoProbe = flag.String("mono-probe", "", "internal: solve this instance monolithically and print JSON (subprocess mode)")
 		incrJSON  = flag.String("incrjson", "", "run the incremental-LP-rebuild sweep and write BENCH_incr.json here")
+		multiJSON = flag.String("multijson", "", "run the multi-stream accounting sweep (L6 workload) and write BENCH_multistream.json here")
+		benchDir  = flag.String("benchjson", "", "write every BENCH_*.json sweep (stages, incremental, multi-stream) into this directory — the CI artifact mode; honors -quick")
 	)
 	flag.Parse()
 
@@ -75,6 +86,20 @@ func main() {
 	}
 	if *incrJSON != "" {
 		if err := incrSweep(*incrJSON, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "overlaybench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *multiJSON != "" {
+		if err := multiSweep(*multiJSON, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "overlaybench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchDir != "" {
+		if err := benchArtifacts(*benchDir, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "overlaybench: %v\n", err)
 			os.Exit(1)
 		}
@@ -285,6 +310,119 @@ func incrSweep(outPath string, quick bool) error {
 		return err
 	}
 	fmt.Printf("wrote incremental-rebuild sweep to %s\n", outPath)
+	return nil
+}
+
+// multiRow is one scenario of the BENCH_multistream.json sweep.
+type multiRow struct {
+	Scenario string `json:"scenario"`
+	Epochs   int    `json:"epochs"`
+	// Units counts demand units (subscriptions), Viewers the real sinks
+	// behind them.
+	Units   int `json:"units"`
+	Viewers int `json:"viewers"`
+	// StreamChurn counts subscription switches; ViewerChurn is the native
+	// fractional viewer accounting; Overcount is StreamChurn/ViewerChurn —
+	// the factor by which the paper's copy-split WLOG would have
+	// exaggerated viewer churn.
+	StreamChurn int     `json:"stream_churn"`
+	ViewerChurn float64 `json:"viewer_churn"`
+	Overcount   float64 `json:"copy_split_overcount"`
+	ArcChurn    int     `json:"arc_churn"`
+	// Patches / Rebuilds: stream churn must ride the incremental LP path
+	// (Rebuilds stays at the epoch-0 build).
+	Patches  int `json:"lp_patches"`
+	Rebuilds int `json:"lp_rebuilds"`
+	// SplitLPEqual re-verifies the WLOG theorem on the base instance: the
+	// native LP optimum equals the copy-split optimum.
+	SplitLPEqual bool `json:"split_lp_equal"`
+	AuditOK      bool `json:"all_audit_ok"`
+}
+
+// multiBench is the BENCH_multistream.json schema.
+type multiBench struct {
+	Workload  string     `json:"workload"`
+	Rows      []multiRow `json:"rows"`
+	Generated string     `json:"generated"`
+}
+
+// multiSweep runs the L6 workload — the multi-stream scenario pair under
+// warm+sticky incremental re-provisioning — and records the native
+// stream/viewer churn accounting next to the copy-split equivalence check.
+func multiSweep(outPath string, quick bool) error {
+	epochs := 50
+	if quick {
+		epochs = 16
+	}
+	bench := multiBench{
+		Workload:  "multi-stream scenarios on gen.Clustered (MultiStreamTopo: 3 streams, 2 per sink), warm+sticky, incremental LP",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, name := range []string{"streamwave", "streamfailover"} {
+		sc, err := live.Make(name, 1, epochs)
+		if err != nil {
+			return err
+		}
+		rep, err := live.Run(sc, live.Config{Policy: live.WarmStickyPolicy()})
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		row := multiRow{
+			Scenario:    name,
+			Epochs:      epochs,
+			Units:       sc.Base.NumSinks,
+			Viewers:     sc.Base.NumViewers(),
+			StreamChurn: rep.TotalStreamChurn,
+			ViewerChurn: rep.TotalViewerChurn,
+			ArcChurn:    rep.TotalArcChurn,
+			Patches:     rep.TotalLPPatches,
+			Rebuilds:    rep.TotalLPRebuilds,
+			AuditOK:     rep.AllAuditOK,
+		}
+		if row.ViewerChurn > 0 {
+			row.Overcount = float64(row.StreamChurn) / row.ViewerChurn
+		}
+		nat, err := lpmodel.SolveLP(sc.Base, lpmodel.DefaultOptions(sc.Base))
+		if err != nil {
+			return fmt.Errorf("%s native LP: %w", name, err)
+		}
+		split := sc.Base.SplitStreams()
+		sp, err := lpmodel.SolveLP(split, lpmodel.DefaultOptions(split))
+		if err != nil {
+			return fmt.Errorf("%s copy-split LP: %w", name, err)
+		}
+		row.SplitLPEqual = math.Abs(nat.Cost-sp.Cost) <= 1e-9*(1+math.Abs(sp.Cost))
+		fmt.Printf("%s: %d stream switches → %.1f viewer churn (%.1fx copy-split overcount), %d patches, %d builds, lp≡split=%v, auditOK=%v\n",
+			name, row.StreamChurn, row.ViewerChurn, row.Overcount, row.Patches, row.Rebuilds, row.SplitLPEqual, row.AuditOK)
+		bench.Rows = append(bench.Rows, row)
+	}
+	data, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote multi-stream sweep to %s\n", outPath)
+	return nil
+}
+
+// benchArtifacts is the CI artifact mode: every BENCH_*.json sweep written
+// into one directory, so bench trajectories are reproducible from any CI
+// run's artifacts.
+func benchArtifacts(dir string, quick bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := reportStages(false, filepath.Join(dir, "BENCH_stages.json")); err != nil {
+		return fmt.Errorf("stages: %w", err)
+	}
+	if err := incrSweep(filepath.Join(dir, "BENCH_incr.json"), quick); err != nil {
+		return fmt.Errorf("incr: %w", err)
+	}
+	if err := multiSweep(filepath.Join(dir, "BENCH_multistream.json"), quick); err != nil {
+		return fmt.Errorf("multistream: %w", err)
+	}
 	return nil
 }
 

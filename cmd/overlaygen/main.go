@@ -4,6 +4,7 @@
 //
 //	overlaygen -kind uniform   -sources 2 -reflectors 10 -sinks 24 -seed 1 -o instance.json
 //	overlaygen -kind clustered -sources 2 -regions 3 -isps 2 -sinks-per-region 8 -seed 1
+//	overlaygen -kind clustered -sources 3 -streams-per-sink 2 -seed 1   # native multi-stream sinks
 //	overlaygen -kind macworld  -seed 1
 //	overlaygen -kind setcover  -elements 20 -sets 8 -seed 1
 //
@@ -28,6 +29,7 @@ func main() {
 		regions    = flag.Int("regions", 3, "regions (clustered)")
 		isps       = flag.Int("isps", 2, "ISPs = colors (clustered)")
 		perRegion  = flag.Int("sinks-per-region", 8, "sinks per region (clustered)")
+		streams    = flag.Int("streams-per-sink", 1, "≥2: native multi-stream sinks, each subscribing that many distinct streams (clustered)")
 		elements   = flag.Int("elements", 20, "elements (setcover)")
 		sets       = flag.Int("sets", 8, "sets (setcover)")
 		seed       = flag.Uint64("seed", 1, "generator seed")
@@ -40,7 +42,12 @@ func main() {
 	case "uniform":
 		in = gen.Uniform(gen.DefaultUniform(*sources, *reflectors, *sinks), *seed)
 	case "clustered":
-		in = gen.Clustered(gen.DefaultClustered(*sources, *regions, *isps, *perRegion), *seed)
+		cc := gen.DefaultClustered(*sources, *regions, *isps, *perRegion)
+		if *streams > 1 {
+			cc.StreamsPerSink = *streams
+			cc.Fanout *= cc.EffectiveStreamsPerSink() // keep per-sink demand growth feasible
+		}
+		in = gen.Clustered(cc, *seed)
 	case "macworld":
 		in = gen.MacWorld(gen.DefaultMacWorld(), *seed)
 	case "setcover":
@@ -64,5 +71,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "overlaygen: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s: %d sources, %d reflectors, %d sinks\n", *out, in.NumSources, in.NumReflectors, in.NumSinks)
+	fmt.Printf("wrote %s: %d sources, %d reflectors, %d sinks", *out, in.NumSources, in.NumReflectors, in.NumSinks)
+	if in.MultiStream() {
+		fmt.Printf(" (%d demand units across %d multi-stream sinks)", in.NumSinks, in.NumViewers())
+	}
+	fmt.Println()
 }

@@ -1,6 +1,8 @@
 // Command overlaylive drives the live churn engine: it builds a timed
 // scenario (flash crowd, diurnal wave, rolling ISP outages, correlated
-// backbone failure, gradual repricing), advances it epoch by epoch while
+// backbone failure, gradual repricing, per-stream popularity waves and
+// correlated stream failover on multi-stream sinks), advances it epoch by
+// epoch while
 // re-provisioning the overlay the way §1.3's monitoring loop prescribes,
 // and reports per-epoch cost, churn, pivots and audit status — optionally
 // comparing the cold re-solve baseline against warm-started sticky
@@ -172,6 +174,10 @@ func printRun(rep *live.RunReport, verbose bool) {
 	t.AddNote("totals: pivots=%d arcChurn=%d reflChurn=%d cost=%.1f wall=%v allAuditsOK=%v",
 		rep.TotalPivots, rep.TotalArcChurn, rep.TotalReflectorChurn,
 		rep.TotalTrueCost, time.Duration(rep.TotalWallNS).Round(time.Microsecond), yesNo(rep.AllAuditOK))
+	if rep.TotalStreamChurn > 0 {
+		t.AddNote("stream churn: %d subscription switches = %.1f viewers (fractional, real-sink accounting)",
+			rep.TotalStreamChurn, rep.TotalViewerChurn)
+	}
 	t.AddNote("lp rebuild: %d full builds, %d cells patched in place (%v in lp-build + lp-patch)",
 		rep.TotalLPRebuilds, rep.TotalLPPatches, time.Duration(rep.LPConstructionNS()).Round(time.Microsecond))
 	t.AddNote("SLO (window %d, target %.0f%% of active sinks): min window availability %.1f%%, %d/%d epochs breached",
@@ -194,6 +200,13 @@ func printComparison(cold, warm *live.RunReport) {
 		ratio(float64(cold.TotalArcChurn), float64(warm.TotalArcChurn)))
 	t.AddRowf("Σ reflector churn", cold.TotalReflectorChurn, warm.TotalReflectorChurn,
 		ratio(float64(cold.TotalReflectorChurn), float64(warm.TotalReflectorChurn)))
+	if cold.TotalStreamChurn > 0 || warm.TotalStreamChurn > 0 {
+		t.AddRowf("Σ stream churn", cold.TotalStreamChurn, warm.TotalStreamChurn,
+			ratio(float64(cold.TotalStreamChurn), float64(warm.TotalStreamChurn)))
+		t.AddRowf("Σ viewer churn", fmt.Sprintf("%.1f", cold.TotalViewerChurn),
+			fmt.Sprintf("%.1f", warm.TotalViewerChurn),
+			ratio(cold.TotalViewerChurn, warm.TotalViewerChurn))
+	}
 	t.AddRowf("Σ true cost", cold.TotalTrueCost, warm.TotalTrueCost,
 		ratio(cold.TotalTrueCost, warm.TotalTrueCost))
 	t.AddRowf("wall time", time.Duration(cold.TotalWallNS).Round(time.Microsecond).String(),

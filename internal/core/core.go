@@ -318,8 +318,9 @@ func Solve(in *netmodel.Instance, opts Options) (*Result, error) {
 		opts.MaxRetries = 8
 	}
 	// The sharded path needs at least two nonempty shards to be a
-	// decomposition at all; LPOnly wants the monolithic fractional optimum.
-	if opts.Shards >= 2 && in.NumSinks >= 2 && !opts.LPOnly {
+	// decomposition at all (two real sinks — a viewer's streams are
+	// shard-atomic); LPOnly wants the monolithic fractional optimum.
+	if opts.Shards >= 2 && in.NumViewers() >= 2 && !opts.LPOnly {
 		return solveSharded(in, opts)
 	}
 	return solveMono(in, opts)

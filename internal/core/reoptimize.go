@@ -14,6 +14,13 @@ type ReoptimizeResult struct {
 	// changed arc is a viewer-visible stream re-pull, so operators
 	// minimize churn alongside cost.
 	ArcChurn, ReflectorChurn int
+	// StreamChurn counts demand units (subscriptions) whose serving
+	// reflector set changed; ViewerChurn weights those switches by the
+	// real sink behind them — a 3-stream sink re-pulling one stream adds
+	// 1/3, not 1 (netmodel.ViewerChurn). On single-stream instances
+	// ViewerChurn is the number of sinks whose service moved.
+	StreamChurn int
+	ViewerChurn float64
 }
 
 // Reoptimize runs the solver on an updated instance (new measured losses or
@@ -80,6 +87,7 @@ func Reoptimize(in *netmodel.Instance, prior *netmodel.Design, stickiness float6
 				}
 			}
 		}
+		out.ViewerChurn, out.StreamChurn = netmodel.ViewerChurn(in, prior, res.Design)
 	}
 	return out, nil
 }

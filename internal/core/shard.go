@@ -30,8 +30,10 @@ const shardSeedMix = 0x94d049bb133111eb
 // marks Result.ShardInfo.Fallback.
 func solveSharded(in *netmodel.Instance, opts Options) (*Result, error) {
 	k := opts.Shards
-	if k > in.NumSinks {
-		k = in.NumSinks
+	// Clamp to real sinks: a viewer's streams are shard-atomic, so there
+	// can never be more shards than viewers.
+	if v := in.NumViewers(); k > v {
+		k = v
 	}
 	sopts := shard.Options{
 		Shards:  k,

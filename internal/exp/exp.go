@@ -94,5 +94,6 @@ func All() []Experiment {
 		{"L3", "Live: rolling ISP outages, availability", L3RollingISPOutage},
 		{"L4", "Live: backbone failure & repricing, cost tracking", L4BackboneAndRepricing},
 		{"L5", "Live: incremental LP rebuild, patch vs rebuild wall", L5IncrementalRebuild},
+		{"L6", "Live: multi-stream sinks, native vs copy-split accounting", L6MultiStream},
 	}
 }

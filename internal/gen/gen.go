@@ -99,6 +99,15 @@ type ClusteredConfig struct {
 	// "home" region hosts this fraction of its sinks' interest (the
 	// paper's "large event with predominantly European viewership").
 	ViewershipSkew float64
+	// StreamsPerSink ≥ 2 makes every sink a native multi-stream viewer
+	// (netmodel.Instance.SinkOf): each physical sink subscribes to that
+	// many DISTINCT streams (clamped to Sources), sharing its
+	// reflector→sink link losses and delivery costs across slots — the
+	// link is physical, the streams ride it. Slot 0 keeps the skewed
+	// home-stream draw; extra slots draw uniformly from the remaining
+	// streams. 0 or 1 generates the classic single-stream instance,
+	// bit-identical to earlier seeds.
+	StreamsPerSink int
 }
 
 // DefaultClustered returns the standard clustered configuration used by the
@@ -134,7 +143,8 @@ type Layout struct {
 // losses and commodities are random), so it matches any seed.
 func ClusteredLayout(cfg ClusteredConfig) Layout {
 	R := cfg.Regions * cfg.ISPs * cfg.ReflectorsPerColo
-	D := cfg.Regions * cfg.SinksPerRegion
+	L := cfg.EffectiveStreamsPerSink()
+	D := cfg.Regions * cfg.SinksPerRegion * L
 	l := Layout{
 		RefRegion:  make([]int, R),
 		RefISP:     make([]int, R),
@@ -150,10 +160,27 @@ func ClusteredLayout(cfg ClusteredConfig) Layout {
 			}
 		}
 	}
+	// SinkRegion indexes DEMAND UNITS: with multi-stream sinks each viewer
+	// contributes L consecutive units, all in the viewer's region.
 	for j := 0; j < D; j++ {
-		l.SinkRegion[j] = j / cfg.SinksPerRegion
+		l.SinkRegion[j] = j / L / cfg.SinksPerRegion
 	}
 	return l
+}
+
+// EffectiveStreamsPerSink returns the slot count per sink the generator
+// will actually use: StreamsPerSink clamped to [1, Sources] (a sink cannot
+// subscribe to the same stream twice). Callers sizing fanout for the
+// multiplied per-sink demand scale by this, not by the raw knob.
+func (cfg ClusteredConfig) EffectiveStreamsPerSink() int {
+	L := cfg.StreamsPerSink
+	if L < 1 {
+		L = 1
+	}
+	if L > cfg.Sources {
+		L = cfg.Sources
+	}
+	return L
 }
 
 // Clustered draws an Akamai-like instance. Reflector i has color = its ISP.
@@ -167,6 +194,9 @@ func Clustered(cfg ClusteredConfig, seed uint64) *netmodel.Instance {
 func ClusteredWithLayout(cfg ClusteredConfig, seed uint64) (*netmodel.Instance, Layout) {
 	rng := stats.NewRNG(seed)
 	R := cfg.Regions * cfg.ISPs * cfg.ReflectorsPerColo
+	// D counts physical sinks; with StreamsPerSink ≥ 2 the drawn base is
+	// expanded into D × L demand units afterwards, leaving the base draws
+	// (and so every single-stream seed) untouched.
 	D := cfg.Regions * cfg.SinksPerRegion
 	in := netmodel.NewZeroInstance(cfg.Sources, R, D)
 	in.Name = fmt.Sprintf("clustered-s%dreg%disp%d-%d", cfg.Sources, cfg.Regions, cfg.ISPs, seed)
@@ -207,7 +237,10 @@ func ClusteredWithLayout(cfg ClusteredConfig, seed uint64) (*netmodel.Instance, 
 			}
 		}
 	}
-	sinkRegion := l.SinkRegion
+	sinkRegion := make([]int, D) // per physical sink (l.SinkRegion is per unit)
+	for j := range sinkRegion {
+		sinkRegion[j] = j / cfg.SinksPerRegion
+	}
 	for r := 0; r < R; r++ {
 		for j := 0; j < D; j++ {
 			if refRegion[r] == sinkRegion[j] {
@@ -234,8 +267,63 @@ func ClusteredWithLayout(cfg ClusteredConfig, seed uint64) (*netmodel.Instance, 
 		}
 		in.Threshold[j] = cfg.Threshold
 	}
+	if L := cfg.EffectiveStreamsPerSink(); L > 1 {
+		in = expandStreams(in, L, rng)
+	}
 	l.SrcRegion = srcRegion
 	return in, l
+}
+
+// expandStreams turns a single-stream base into a native multi-stream
+// instance: each physical sink becomes L consecutive demand units grouped
+// by SinkOf, sharing the sink's reflector→sink loss and cost columns (the
+// link is physical), with slot 0 keeping the base's skewed stream draw and
+// extra slots drawing distinct streams uniformly from the rest.
+func expandStreams(base *netmodel.Instance, L int, rng *stats.RNG) *netmodel.Instance {
+	S, R, Dv := base.Dims()
+	out := netmodel.NewZeroInstance(S, R, Dv*L)
+	out.Name = fmt.Sprintf("%s-ms%d", base.Name, L)
+	copy(out.ReflectorCost, base.ReflectorCost)
+	copy(out.Fanout, base.Fanout)
+	for k := 0; k < S; k++ {
+		copy(out.SrcRefLoss[k], base.SrcRefLoss[k])
+		copy(out.SrcRefCost[k], base.SrcRefCost[k])
+	}
+	if base.Color != nil {
+		out.Color = append([]int(nil), base.Color...)
+		out.NumColors = base.NumColors
+	}
+	out.SinkOf = make([]int, Dv*L)
+	for v := 0; v < Dv; v++ {
+		used := make([]bool, S)
+		for s := 0; s < L; s++ {
+			u := v*L + s
+			out.SinkOf[u] = v
+			for i := 0; i < R; i++ {
+				out.RefSinkLoss[i][u] = base.RefSinkLoss[i][v]
+				out.RefSinkCost[i][u] = base.RefSinkCost[i][v]
+			}
+			k := base.Commodity[v]
+			if s > 0 {
+				pick := rng.Intn(S - s)
+				k = -1
+				for kk := 0; kk < S; kk++ {
+					if used[kk] {
+						continue
+					}
+					if pick == 0 {
+						k = kk
+						break
+					}
+					pick--
+				}
+			}
+			used[k] = true
+			out.Commodity[u] = k
+			out.Threshold[u] = base.Threshold[v]
+		}
+	}
+	return out
 }
 
 // SetCoverConfig embeds a set-cover instance: reflectors are sets, sinks are

@@ -138,9 +138,12 @@ type EpochReport struct {
 	// atomic changes.
 	Events []string `json:"events,omitempty"`
 	Edits  int      `json:"edits"`
-	// ActiveSinks counts sinks with positive thresholds after the epoch's
-	// events.
-	ActiveSinks int `json:"active_sinks"`
+	// ActiveSinks counts demand units (subscriptions) with positive
+	// thresholds after the epoch's events; ActiveViewers counts the real
+	// sinks behind them — a 3-stream viewer is one viewer, three active
+	// sinks. Equal on single-stream instances.
+	ActiveSinks   int `json:"active_sinks"`
+	ActiveViewers int `json:"active_viewers"`
 	// TrueCost is the deployed design's cost on the true (unbiased)
 	// instance; LPCost the epoch LP optimum (of the biased LP under a
 	// sticky policy — informational).
@@ -151,9 +154,16 @@ type EpochReport struct {
 	Pivots  int `json:"pivots"`
 	Retries int `json:"retries"`
 	// ArcChurn / ReflectorChurn count changes against the previous
-	// epoch's deployment (viewer-visible re-pulls / build flips).
-	ArcChurn       int `json:"arc_churn"`
-	ReflectorChurn int `json:"reflector_churn"`
+	// epoch's deployment (service-arc flips / build flips). StreamChurn
+	// counts subscriptions whose serving set changed, and ViewerChurn is
+	// the stream-level viewer accounting: each real sink contributes the
+	// FRACTION of its streams that moved, so a one-stream switch on a
+	// 3-stream sink reports 1/3 of a viewer, where the paper's copy-split
+	// view would have charged a full one.
+	ArcChurn       int     `json:"arc_churn"`
+	ReflectorChurn int     `json:"reflector_churn"`
+	StreamChurn    int     `json:"stream_churn"`
+	ViewerChurn    float64 `json:"viewer_churn"`
 	// BuiltReflectors counts reflectors in service this epoch.
 	BuiltReflectors int `json:"built_reflectors"`
 	// Audit summary of the epoch's design on the true instance.
@@ -195,6 +205,8 @@ type RunReport struct {
 	TotalPivots         int     `json:"total_pivots"`
 	TotalArcChurn       int     `json:"total_arc_churn"`
 	TotalReflectorChurn int     `json:"total_reflector_churn"`
+	TotalStreamChurn    int     `json:"total_stream_churn"`
+	TotalViewerChurn    float64 `json:"total_viewer_churn"`
 	TotalTrueCost       float64 `json:"total_true_cost"`
 	TotalWallNS         int64   `json:"total_wall_ns"`
 	// AllAuditOK reports whether every epoch met the paper's guarantee.
@@ -273,6 +285,7 @@ func Run(sc *Scenario, cfg Config) (*RunReport, error) {
 				er.ActiveSinks++
 			}
 		}
+		er.ActiveViewers = in.ActiveViewers()
 		start := time.Now()
 		res, err := sess.Step(in)
 		if err != nil {
@@ -288,6 +301,8 @@ func Run(sc *Scenario, cfg Config) (*RunReport, error) {
 		er.Retries = res.Retries
 		er.ArcChurn = res.ArcChurn
 		er.ReflectorChurn = res.ReflectorChurn
+		er.StreamChurn = res.StreamChurn
+		er.ViewerChurn = res.ViewerChurn
 		for _, b := range res.Design.Build {
 			if b {
 				er.BuiltReflectors++
@@ -362,6 +377,8 @@ func Run(sc *Scenario, cfg Config) (*RunReport, error) {
 		rep.TotalPivots += er.Pivots
 		rep.TotalArcChurn += er.ArcChurn
 		rep.TotalReflectorChurn += er.ReflectorChurn
+		rep.TotalStreamChurn += er.StreamChurn
+		rep.TotalViewerChurn += er.ViewerChurn
 		rep.TotalTrueCost += er.TrueCost
 		rep.TotalWallNS += er.WallNS
 		rep.TotalLPPatches += er.LPPatches

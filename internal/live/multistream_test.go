@@ -1,0 +1,74 @@
+package live
+
+import "testing"
+
+// TestStreamChurnPatchesInPlace locks the acceptance criterion that stream
+// subscribe/unsubscribe events ride the incremental LP path: across the
+// whole multi-stream scenario pair, the engine performs exactly one full
+// LP build (epoch 0) and absorbs every stream toggle as in-place patches.
+func TestStreamChurnPatchesInPlace(t *testing.T) {
+	for _, name := range []string{"streamwave", "streamfailover"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sc, err := Make(name, 3, 14)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := Run(sc, Config{Policy: WarmStickyPolicy()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.AllAuditOK {
+				t.Fatal("an epoch failed the audit")
+			}
+			if rep.TotalLPRebuilds != 1 {
+				t.Fatalf("stream churn caused %d LP rebuilds, want exactly the epoch-0 build", rep.TotalLPRebuilds)
+			}
+			if rep.TotalLPPatches == 0 {
+				t.Fatal("no LP cells were patched across a stream-churning timeline")
+			}
+			for _, er := range rep.Epochs[1:] {
+				if er.LPRebuilds != 0 {
+					t.Fatalf("epoch %d fell back to a full rebuild", er.Epoch)
+				}
+			}
+		})
+	}
+}
+
+// TestStreamChurnCountsRealSinks checks the stream-level accounting on a
+// live timeline: stream switches are visible, and viewer churn counts real
+// sinks fractionally — strictly fewer viewers than stream switches, since
+// the multi-stream scenarios only ever toggle one of a sink's streams at a
+// time while the sink keeps watching its other stream.
+func TestStreamChurnCountsRealSinks(t *testing.T) {
+	sc, err := Make("streamwave", 5, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(sc, Config{Policy: WarmStickyPolicy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalStreamChurn == 0 {
+		t.Fatal("a popularity-wave timeline produced no stream churn")
+	}
+	if rep.TotalViewerChurn <= 0 || rep.TotalViewerChurn >= float64(rep.TotalStreamChurn) {
+		t.Fatalf("viewer churn %.2f not strictly fractional against %d stream switches",
+			rep.TotalViewerChurn, rep.TotalStreamChurn)
+	}
+	// Multi-stream bookkeeping: subscriptions outnumber real sinks on at
+	// least the surge epochs, and viewers never exceed subscriptions.
+	surged := false
+	for _, er := range rep.Epochs {
+		if er.ActiveViewers > er.ActiveSinks {
+			t.Fatalf("epoch %d: %d viewers > %d active subscriptions", er.Epoch, er.ActiveViewers, er.ActiveSinks)
+		}
+		if er.ActiveSinks > er.ActiveViewers {
+			surged = true
+		}
+	}
+	if !surged {
+		t.Fatal("no epoch had more subscriptions than viewers — surges never fired")
+	}
+}

@@ -19,6 +19,10 @@ type TopoConfig struct {
 	// FanoutSlack scales gen's default fanout so designs survive losing a
 	// whole ISP or a flash crowd without the LP going infeasible.
 	FanoutSlack float64
+	// StreamsPerSink ≥ 2 makes every sink a native multi-stream viewer
+	// (gen.ClusteredConfig.StreamsPerSink); the default fanout scales with
+	// it so the extra per-sink demand stays feasible.
+	StreamsPerSink int
 }
 
 // DefaultTopo is the standard live-scenario topology: 3 regions × 3 ISPs,
@@ -27,11 +31,23 @@ func DefaultTopo() TopoConfig {
 	return TopoConfig{Sources: 2, Regions: 3, ISPs: 3, SinksPerRegion: 8, FanoutSlack: 1.5}
 }
 
+// MultiStreamTopo is the multi-stream scenario topology: 3 streams, 18
+// viewers each subscribing to 2 of them (36 demand units), with fanout
+// scaled so the doubled per-sink demand stays feasible through the waves.
+func MultiStreamTopo() TopoConfig {
+	return TopoConfig{Sources: 3, Regions: 3, ISPs: 3, SinksPerRegion: 6,
+		FanoutSlack: 1.5, StreamsPerSink: 2}
+}
+
 // instance draws the base topology plus its deterministic layout.
 func (tc TopoConfig) instance(seed uint64) (*netmodel.Instance, gen.ClusteredConfig, gen.Layout) {
 	cc := gen.DefaultClustered(tc.Sources, tc.Regions, tc.ISPs, tc.SinksPerRegion)
 	if tc.Threshold > 0 {
 		cc.Threshold = tc.Threshold
+	}
+	if tc.StreamsPerSink > 1 {
+		cc.StreamsPerSink = tc.StreamsPerSink
+		cc.Fanout *= cc.EffectiveStreamsPerSink()
 	}
 	if tc.FanoutSlack > 0 {
 		cc.Fanout = int(float64(cc.Fanout)*tc.FanoutSlack + 0.5)
@@ -317,14 +333,129 @@ func GradualRepricing(seed uint64, epochs int) *Scenario {
 	return sc
 }
 
+// StreamPopularityWave builds the per-stream popularity workload on a
+// native multi-stream topology: every viewer watches its home stream
+// throughout and holds one standby slot for a second stream; each stream's
+// popularity then surges in turn — a wave of viewers SUBSCRIBES the
+// standby slot for that stream (netmodel.Delta.SetStream) and unsubscribes
+// when the surge passes. All churn is stream-level on existing sinks: no
+// viewer ever joins or leaves, so the copy-split view would misreport
+// every switch as a full viewer coming and going, and the incremental LP
+// path must absorb everything as covering-row patches (one build, zero
+// rebuilds — test- and CI-locked).
+func StreamPopularityWave(seed uint64, epochs int) *Scenario {
+	tc := MultiStreamTopo()
+	in, cc, _ := tc.instance(seed)
+	rng := stats.NewRNG(seed ^ 0x57ea3aa4e)
+
+	// Standby slots start unsubscribed: every unit that is not its
+	// viewer's first slot goes dark in the base, and we index who holds a
+	// standby slot for which stream.
+	holders := make(map[int][]int) // stream -> viewers with a standby slot for it
+	byViewer := in.ViewerUnits()
+	for v, units := range byViewer {
+		for _, u := range units[1:] {
+			in.Threshold[u] = 0
+			holders[in.Commodity[u]] = append(holders[in.Commodity[u]], v)
+		}
+	}
+	sc := &Scenario{Name: "streamwave", Seed: seed, Epochs: epochs, Base: in}
+
+	w := max(2, epochs/6)
+	gap := max(w+1, (epochs-2)/max(1, in.NumSources))
+	for k := 0; k < in.NumSources; k++ {
+		start := 1 + k*gap
+		if start+w >= epochs {
+			break
+		}
+		crowd := holders[k]
+		surge := netmodel.Delta{Note: fmt.Sprintf("stream %d popularity surge", k)}
+		fade := netmodel.Delta{Note: fmt.Sprintf("stream %d surge over", k)}
+		for _, v := range crowd {
+			if !rng.Bernoulli(0.75) {
+				continue // a quarter of the holders sit this surge out
+			}
+			surge.SetStream = append(surge.SetStream,
+				netmodel.StreamValue{Sink: v, Stream: k, Value: cc.Threshold})
+			fade.SetStream = append(fade.SetStream,
+				netmodel.StreamValue{Sink: v, Stream: k, Value: 0})
+		}
+		sc.Events = append(sc.Events,
+			Event{Epoch: start, Delta: surge},
+			Event{Epoch: start + w, Delta: fade})
+	}
+	sortEvents(sc)
+	return sc
+}
+
+// StreamFailover builds the correlated stream-failover workload: viewers
+// hold a standby slot next to their home stream; when a source's uplinks
+// degrade (the §1.4-style correlated incident, hitting every reflector at
+// once), every viewer watching that stream fails over in the SAME delta —
+// unsubscribing the impaired stream and subscribing its standby — and
+// switches back when the source recovers. A sink that flips one of its two
+// streams is 1/2 a viewer of churn natively, where the copy-split view
+// would count a full leave plus a full join.
+func StreamFailover(seed uint64, epochs int) *Scenario {
+	tc := MultiStreamTopo()
+	in, cc, _ := tc.instance(seed)
+	sc := &Scenario{Name: "streamfailover", Seed: seed, Epochs: epochs, Base: in}
+
+	// Standby slots (every non-first slot) start unsubscribed.
+	byViewer := in.ViewerUnits()
+	for _, units := range byViewer {
+		for _, u := range units[1:] {
+			in.Threshold[u] = 0
+		}
+	}
+
+	addIncident := func(k, start, w int, factor float64) {
+		if start < 1 || start+w >= epochs {
+			return
+		}
+		fail := netmodel.Delta{Note: fmt.Sprintf("source %d uplink degraded, failover", k)}
+		restore := netmodel.Delta{Note: fmt.Sprintf("source %d recovered, failback", k)}
+		for i := 0; i < in.NumReflectors; i++ {
+			fail.ScaleSrcRefLoss = append(fail.ScaleSrcRefLoss,
+				netmodel.ArcValue{A: k, B: i, Value: factor})
+			restore.SetSrcRefLoss = append(restore.SetSrcRefLoss,
+				netmodel.ArcValue{A: k, B: i, Value: in.SrcRefLoss[k][i]})
+		}
+		for v, units := range byViewer {
+			if len(units) < 2 || in.Commodity[units[0]] != k || in.Threshold[units[0]] <= 0 {
+				continue
+			}
+			backup := in.Commodity[units[1]]
+			fail.SetStream = append(fail.SetStream,
+				netmodel.StreamValue{Sink: v, Stream: k, Value: 0},
+				netmodel.StreamValue{Sink: v, Stream: backup, Value: cc.Threshold})
+			restore.SetStream = append(restore.SetStream,
+				netmodel.StreamValue{Sink: v, Stream: backup, Value: 0},
+				netmodel.StreamValue{Sink: v, Stream: k, Value: cc.Threshold})
+		}
+		sc.Events = append(sc.Events,
+			Event{Epoch: start, Delta: fail},
+			Event{Epoch: start + w, Delta: restore})
+	}
+	w := max(2, epochs/8)
+	gap := max(2*w, (epochs-2)/max(1, in.NumSources))
+	for k := 0; k < in.NumSources; k++ {
+		addIncident(k, 1+k*gap, w, 6)
+	}
+	sortEvents(sc)
+	return sc
+}
+
 // makers is the scenario registry used by the CLI and the L-series
 // experiments.
 var makers = map[string]func(seed uint64, epochs int) *Scenario{
-	"flashcrowd": FlashCrowd,
-	"diurnal":    DiurnalWave,
-	"rollingisp": RollingISPOutage,
-	"backbone":   CorrelatedBackboneFailure,
-	"repricing":  GradualRepricing,
+	"flashcrowd":     FlashCrowd,
+	"diurnal":        DiurnalWave,
+	"rollingisp":     RollingISPOutage,
+	"backbone":       CorrelatedBackboneFailure,
+	"repricing":      GradualRepricing,
+	"streamwave":     StreamPopularityWave,
+	"streamfailover": StreamFailover,
 }
 
 // Names lists the registered scenario names, sorted.

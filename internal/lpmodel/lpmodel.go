@@ -18,6 +18,8 @@
 //	(5) Σ_i x_{ij} w_{ij} ≥ W_j                  (reliability covering)
 //	(7') x_{ij} ≤ u_{ij}                          (§6.3, as variable bounds)
 //	(9) Σ_{i ∈ R_ℓ} x_{ij} ≤ 1   ∀j, ∀ color ℓ  (§6.4)
+//	(10) Σ_{j ∈ g} x_{ij} ≤ u_{ig}  ∀i, ∀ multi-stream sink g — the native
+//	     shared-arc capacity coupling the copy-split WLOG cannot express
 package lpmodel
 
 import (
@@ -230,6 +232,32 @@ func Build(in *netmodel.Instance, opts Options) (*lp.Problem, *VarMap) {
 					coefs = append(coefs, lp.Coef{Var: m.X(i, j), Val: 1})
 				}
 				p.AddConstraint(lp.LE, 1, coefs...)
+			}
+		}
+	}
+	// (10) shared physical-arc capacity for multi-stream sinks: a §6.3 cap
+	// u_{ij} is a property of the reflector→sink ARC, so a viewer's streams
+	// share it — Σ_{j ∈ viewer g} x_{ij} ≤ u_{ig}. This is the one
+	// constraint the paper's copy-split WLOG cannot express (each copy gets
+	// a private cap); SplitStreams documents the weakening and the golden
+	// tests pin both the equivalence without edge caps and the strict gap
+	// with them. Emitted last so the Patcher's row layout for (1)–(5) is
+	// unaffected; the rows themselves are static (deltas never edit caps).
+	if opts.EdgeCaps && in.EdgeCap != nil && in.MultiStream() {
+		for _, units := range in.ViewerUnits() {
+			if len(units) < 2 {
+				continue
+			}
+			for i := 0; i < R; i++ {
+				cap := in.EdgeCap[i][units[0]] // constant across the viewer (validated)
+				if cap >= float64(len(units)) {
+					continue // cannot bind: each x is in [0,1]
+				}
+				coefs := make([]lp.Coef, 0, len(units))
+				for _, j := range units {
+					coefs = append(coefs, lp.Coef{Var: m.X(i, j), Val: 1})
+				}
+				p.AddConstraint(lp.LE, cap, coefs...)
 			}
 		}
 	}

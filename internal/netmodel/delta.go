@@ -19,7 +19,15 @@ type Delta struct {
 
 	// SetThreshold sets Threshold[Sink] = Value (sink join/leave; Value in
 	// [0,1), 0 means the sink demands nothing and is skipped by audits).
+	// Sink indexes the demand-unit axis directly.
 	SetThreshold []SinkValue `json:"set_threshold,omitempty"`
+	// SetStream addresses a subscription by (viewer, stream) instead of by
+	// raw unit: it sets the threshold of viewer Sink's slot for stream
+	// Stream (subscribe with a positive target, unsubscribe with 0). The
+	// slot must exist in the instance's fixed stream layout — deltas never
+	// resize, so a viewer can only toggle streams it was built with, the
+	// same way SetThreshold toggles sinks rather than adding them.
+	SetStream []StreamValue `json:"set_stream,omitempty"`
 	// SetFanout sets Fanout[Ref] = Value (reflector failure at 0,
 	// recovery by restoring the original fanout).
 	SetFanout []RefValue `json:"set_fanout,omitempty"`
@@ -44,6 +52,13 @@ type SinkValue struct {
 	Value float64 `json:"value"`
 }
 
+// StreamValue is an atomic per-(viewer, stream) subscription edit.
+type StreamValue struct {
+	Sink   int     `json:"sink"` // viewer id (= unit id on ungrouped instances)
+	Stream int     `json:"stream"`
+	Value  float64 `json:"value"`
+}
+
 // RefValue is an atomic per-reflector edit.
 type RefValue struct {
 	Ref   int     `json:"ref"`
@@ -65,7 +80,7 @@ func (d *Delta) Empty() bool {
 
 // Size returns the number of atomic edits in the delta.
 func (d *Delta) Size() int {
-	return len(d.SetThreshold) + len(d.SetFanout) + len(d.ScaleReflectorCost) +
+	return len(d.SetThreshold) + len(d.SetStream) + len(d.SetFanout) + len(d.ScaleReflectorCost) +
 		len(d.ScaleSrcRefCost) + len(d.ScaleRefSinkCost) +
 		len(d.SetSrcRefLoss) + len(d.SetRefSinkLoss) +
 		len(d.ScaleSrcRefLoss) + len(d.ScaleRefSinkLoss)
@@ -81,6 +96,20 @@ func (d *Delta) Validate(in *Instance) error {
 		}
 		if e.Value < 0 || e.Value >= 1 || math.IsNaN(e.Value) {
 			return fmt.Errorf("netmodel: delta %q: threshold %g for sink %d outside [0,1)", d.Note, e.Value, e.Sink)
+		}
+	}
+	for _, e := range d.SetStream {
+		if e.Sink < 0 || e.Sink >= in.NumViewers() {
+			return fmt.Errorf("netmodel: delta %q: stream edit for unknown sink %d", d.Note, e.Sink)
+		}
+		if e.Stream < 0 || e.Stream >= S {
+			return fmt.Errorf("netmodel: delta %q: stream edit for unknown stream %d", d.Note, e.Stream)
+		}
+		if in.FindUnit(e.Sink, e.Stream) < 0 {
+			return fmt.Errorf("netmodel: delta %q: sink %d has no slot for stream %d", d.Note, e.Sink, e.Stream)
+		}
+		if e.Value < 0 || e.Value >= 1 || math.IsNaN(e.Value) {
+			return fmt.Errorf("netmodel: delta %q: threshold %g for sink %d stream %d outside [0,1)", d.Note, e.Value, e.Sink, e.Stream)
 		}
 	}
 	for _, e := range d.SetFanout {
@@ -151,6 +180,11 @@ func (d *Delta) Apply(in *Instance) (*DirtySet, error) {
 	for _, e := range d.SetThreshold {
 		in.Threshold[e.Sink] = e.Value
 		ds.SinkDemand = append(ds.SinkDemand, e.Sink)
+	}
+	for _, e := range d.SetStream {
+		j := in.FindUnit(e.Sink, e.Stream)
+		in.Threshold[j] = e.Value
+		ds.SinkDemand = append(ds.SinkDemand, j)
 	}
 	for _, e := range d.SetFanout {
 		in.Fanout[e.Ref] = e.Value

@@ -166,11 +166,17 @@ type Audit struct {
 	// reflectors of (streams ingested) − u_i. §6.2 proves an O(log n)
 	// violation is unavoidable in general.
 	IngestExcess float64
-	// MetDemand counts sinks whose success probability meets Φ_j exactly
-	// (via the exact product, not the weight surrogate).
+	// MetDemand counts demand units whose success probability meets Φ_j
+	// exactly (via the exact product, not the weight surrogate).
 	MetDemand int
-	// Sinks is the total number of sinks with positive demand.
+	// Sinks is the total number of demand units with positive demand.
 	Sinks int
+	// MetViewers counts physical sinks (viewers, see multistream.go) ALL
+	// of whose active subscriptions meet their thresholds; Viewers counts
+	// viewers with at least one active subscription. On instances without
+	// a sink grouping these equal MetDemand and Sinks.
+	MetViewers int
+	Viewers    int
 }
 
 // AuditDesign audits d against in.
@@ -192,7 +198,9 @@ func AuditDesign(in *Instance, d *Design) Audit {
 			}
 		}
 	}
-	// Weights and exact reliability.
+	// Weights and exact reliability (per demand unit, then rolled up to
+	// viewers: a viewer is met only when every active subscription is).
+	met := make([]bool, D)
 	for j := 0; j < D; j++ {
 		dem := in.Demand(j)
 		if in.Threshold[j] <= 0 {
@@ -207,10 +215,31 @@ func AuditDesign(in *Instance, d *Design) Audit {
 		}
 		if 1-d.SinkFailureProb(in, j) >= in.Threshold[j]-1e-12 {
 			a.MetDemand++
+			met[j] = true
 		}
 	}
 	if a.Sinks == 0 {
 		a.WeightFactor = 1
+	}
+	for lo := 0; lo < D; {
+		hi := lo + 1
+		for hi < D && in.Viewer(hi) == in.Viewer(lo) {
+			hi++
+		}
+		active, allMet := false, true
+		for j := lo; j < hi; j++ {
+			if in.Threshold[j] > 0 {
+				active = true
+				allMet = allMet && met[j]
+			}
+		}
+		if active {
+			a.Viewers++
+			if allMet {
+				a.MetViewers++
+			}
+		}
+		lo = hi
 	}
 	// Fanout.
 	for i := 0; i < R; i++ {

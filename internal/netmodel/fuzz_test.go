@@ -64,11 +64,23 @@ func FuzzDeltaApply(f *testing.F) {
 		`{"set_src_ref_loss":[{"a":0,"b":0,"value":1.5}]}`,
 		`{"set_ref_sink_loss":[{"a":0,"b":0,"value":1}]}`,
 		`{"scale_ref_sink_loss":[{"a":0,"b":0,"value":1e300},{"a":0,"b":0,"value":1e300}]}`,
+		`{"set_stream":[{"sink":0,"stream":0,"value":0.5}]}`,
+		`{"set_stream":[{"sink":0,"stream":0,"value":0}]}`,
+		`{"set_stream":[{"sink":0,"stream":99,"value":0.5}]}`,
+		`{"set_stream":[{"sink":-1,"stream":0,"value":0.5}]}`,
+		`{"set_stream":[{"sink":0,"stream":0,"value":1}]}`,
+		`{"set_stream":[{"sink":3,"stream":1,"value":0.97},{"sink":3,"stream":1,"value":0}]}`,
 	} {
 		f.Add([]byte(s))
 	}
 
-	base := gen.Clustered(gen.DefaultClustered(2, 2, 2, 4), 1)
+	// The base is a NATIVE MULTI-STREAM instance (2 streams per sink), so
+	// stream subscribe/unsubscribe edits resolve against a real grouping
+	// and the dirty-set completeness check covers the per-unit thresholds
+	// they land on. Single-stream behavior is a strict special case.
+	cc := gen.DefaultClustered(3, 2, 2, 4)
+	cc.StreamsPerSink = 2
+	base := gen.Clustered(cc, 1)
 	if err := base.Validate(); err != nil {
 		f.Fatal(err)
 	}

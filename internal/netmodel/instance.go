@@ -5,9 +5,12 @@
 // integral Design produced by the solvers and the audit machinery that
 // checks a design against every constraint of the IP in §2.
 //
-// Following §2 of the paper, each sink demands exactly one commodity (a sink
-// wanting several streams is split into copies beforehand), and commodity k
-// originates at source k, so the number of commodities equals |S|.
+// Following §2 of the paper, each demand unit (column of the sink axis)
+// demands exactly one commodity, and commodity k originates at source k, so
+// the number of commodities equals |S|. A sink wanting several streams is
+// no longer split into anonymous copies: SinkOf groups its units into one
+// first-class multi-stream sink (see multistream.go), and SplitStreams
+// recovers the paper's copy-split form when the WLOG view is wanted.
 package netmodel
 
 import (
@@ -82,6 +85,15 @@ type Instance struct {
 	// would be constant-approximable), so solvers treat it as soft and
 	// the audit reports the realized excess.
 	IngestCap []float64 `json:"ingest_cap,omitempty"`
+
+	// SinkOf groups demand units into multi-stream sinks (see
+	// multistream.go): SinkOf[j] is the physical sink ("viewer") that
+	// demand unit j — one (sink, stream) subscription — belongs to. Nil
+	// means every unit is its own sink (the paper's single-stream model).
+	// Viewer ids must be dense, nondecreasing and contiguous, each
+	// viewer's streams distinct, and §6.3 edge caps constant within a
+	// viewer; Validate enforces all of it.
+	SinkOf []int `json:"sink_of,omitempty"`
 }
 
 // Dims returns (|S|, |R|, |D|).
@@ -178,7 +190,7 @@ func (in *Instance) Validate() error {
 			}
 		}
 	}
-	return nil
+	return in.validateSinkOf()
 }
 
 func checkMatrix(name string, m [][]float64, rows, cols int, lo, hi float64) error {
@@ -280,6 +292,9 @@ func (in *Instance) Clone() *Instance {
 	}
 	if in.IngestCap != nil {
 		cp.IngestCap = append([]float64(nil), in.IngestCap...)
+	}
+	if in.SinkOf != nil {
+		cp.SinkOf = append([]int(nil), in.SinkOf...)
 	}
 	return &cp
 }

@@ -1,0 +1,120 @@
+package shard_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/netmodel"
+	"repro/internal/shard"
+)
+
+// TestPartitionKeepsViewersAtomic locks the multi-stream sharding
+// invariant: one sink's streams never straddle shards. The partition must
+// also stay a balanced cover of all demand units.
+func TestPartitionKeepsViewersAtomic(t *testing.T) {
+	cc := gen.DefaultClustered(3, 4, 2, 6)
+	cc.StreamsPerSink = 3
+	cc.Fanout *= 3
+	in := gen.Clustered(cc, 9)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{2, 4, 7} {
+		parts := shard.PartitionSinks(in, k)
+		if len(parts) != k {
+			t.Fatalf("k=%d: got %d shards", k, len(parts))
+		}
+		owner := make(map[int]int) // viewer -> shard
+		seen := make(map[int]bool) // unit cover
+		for s, units := range parts {
+			if len(units) == 0 {
+				t.Fatalf("k=%d: shard %d empty", k, s)
+			}
+			for _, j := range units {
+				if seen[j] {
+					t.Fatalf("k=%d: unit %d in two shards", k, j)
+				}
+				seen[j] = true
+				v := in.Viewer(j)
+				if prev, ok := owner[v]; ok && prev != s {
+					t.Fatalf("k=%d: viewer %d straddles shards %d and %d", k, v, prev, s)
+				}
+				owner[v] = s
+			}
+		}
+		if len(seen) != in.NumSinks {
+			t.Fatalf("k=%d: partition covers %d of %d units", k, len(seen), in.NumSinks)
+		}
+		// Balance: no shard more than twice the ideal unit share.
+		for s, units := range parts {
+			if len(units) > 2*in.NumSinks/k+3 {
+				t.Fatalf("k=%d: shard %d holds %d of %d units", k, s, len(units), in.NumSinks)
+			}
+		}
+	}
+}
+
+// TestPartitionRaggedViewers is the regression lock for the balanced-cut
+// guard: small viewers sorting ahead of a big one used to exhaust the
+// order before every shard was fed, returning an empty shard.
+func TestPartitionRaggedViewers(t *testing.T) {
+	in := netmodel.NewZeroInstance(3, 2, 5)
+	in.SinkOf = []int{0, 1, 2, 2, 2}
+	in.Commodity = []int{0, 0, 0, 1, 2}
+	for j := range in.Threshold {
+		in.Threshold[j] = 0.9
+	}
+	for i := range in.Fanout {
+		in.Fanout[i] = 10
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for k := 2; k <= 3; k++ {
+		parts := shard.PartitionSinks(in, k)
+		if len(parts) != k {
+			t.Fatalf("k=%d: got %d shards", k, len(parts))
+		}
+		total := 0
+		for s, units := range parts {
+			if len(units) == 0 {
+				t.Fatalf("k=%d: shard %d empty (parts=%v)", k, s, parts)
+			}
+			total += len(units)
+		}
+		if total != in.NumSinks {
+			t.Fatalf("k=%d: partition covers %d of %d units", k, total, in.NumSinks)
+		}
+	}
+}
+
+// TestShardedSolveMultiStream runs the full sharded pipeline on a native
+// multi-stream instance and checks the merged design passes the audit with
+// viewer-level counts populated.
+func TestShardedSolveMultiStream(t *testing.T) {
+	cc := gen.DefaultClustered(3, 3, 2, 6)
+	cc.StreamsPerSink = 2
+	cc.Fanout *= 2
+	in := gen.Clustered(cc, 5)
+	in.Color = nil
+	in.NumColors = 0
+	opts := core.DefaultOptions(1)
+	opts.Shards = 3
+	res, err := core.Solve(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShardInfo == nil || res.ShardInfo.Fallback {
+		t.Fatalf("expected a genuine sharded solve, got %+v", res.ShardInfo)
+	}
+	if !res.AuditOK() {
+		t.Fatalf("sharded multi-stream design failed the audit: %+v", res.Audit)
+	}
+	if res.Audit.Viewers != in.ActiveViewers() {
+		t.Fatalf("audit saw %d viewers, want %d", res.Audit.Viewers, in.ActiveViewers())
+	}
+	if res.Audit.MetViewers > res.Audit.Viewers || res.Audit.MetViewers > res.Audit.MetDemand {
+		t.Fatalf("inconsistent viewer counts: %+v", res.Audit)
+	}
+}

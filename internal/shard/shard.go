@@ -193,8 +193,14 @@ func (p *Plan) Shards() int { return len(p.Sinks) }
 // the cut recovers the region clusters; on unstructured instances it
 // degrades to a balanced deterministic split. The result depends only on
 // the cost matrix — never on thresholds — so live sink churn does not move
-// sinks between shards.
+// sinks between shards. On multi-stream instances the partition works on
+// real sinks: a viewer's demand units are assigned atomically, so one
+// sink's streams never straddle shards (stream churn then routes to exactly
+// one shard's Patcher, and per-viewer accounting stays shard-local).
 func PartitionSinks(in *netmodel.Instance, k int) [][]int {
+	if in.MultiStream() {
+		return partitionViewers(in, k)
+	}
 	_, R, D := in.Dims()
 	if k > D {
 		k = D
@@ -228,6 +234,67 @@ func PartitionSinks(in *netmodel.Instance, k int) [][]int {
 		shard := append([]int(nil), order[lo:hi]...)
 		sort.Ints(shard)
 		out[s] = shard
+	}
+	return out
+}
+
+// partitionViewers is the multi-stream variant of PartitionSinks: viewers
+// (not units) carry the cost anchor — the reflector serving the whole
+// stream bundle cheapest — are ordered by (anchor, id), and the order is
+// cut into k chunks balanced by UNIT count (a 3-stream viewer weighs three
+// single-stream ones), never splitting a viewer.
+func partitionViewers(in *netmodel.Instance, k int) [][]int {
+	_, R, D := in.Dims()
+	groups := in.ViewerUnits()
+	G := len(groups)
+	if k > G {
+		k = G
+	}
+	if k < 1 {
+		k = 1
+	}
+	anchor := make([]int, G)
+	for g, units := range groups {
+		best, bestC := 0, math.Inf(1)
+		for i := 0; i < R; i++ {
+			c := 0.0
+			for _, j := range units {
+				c += in.RefSinkCost[i][j]
+			}
+			if c < bestC {
+				best, bestC = i, c
+			}
+		}
+		anchor[g] = best
+	}
+	order := make([]int, G)
+	for g := range order {
+		order[g] = g
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if anchor[order[a]] != anchor[order[b]] {
+			return anchor[order[a]] < anchor[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	out := make([][]int, k)
+	s, acc := 0, 0
+	for idx, g := range order {
+		// Advance when the current shard hit its unit target, or when the
+		// viewers left are only just enough to feed the still-empty shards
+		// after this one (k-1-s of them) — without the latter guard a run
+		// of small viewers followed by a big one can exhaust the order
+		// before every shard is fed, leaving an empty shard.
+		mustAdvance := G-idx <= k-1-s
+		canAdvance := acc >= (s+1)*D/k
+		if s < k-1 && len(out[s]) > 0 && (mustAdvance || canAdvance) {
+			s++
+		}
+		out[s] = append(out[s], groups[g]...)
+		acc += len(groups[g])
+	}
+	for s := range out {
+		sort.Ints(out[s])
 	}
 	return out
 }
@@ -409,6 +476,19 @@ func extract(in *netmodel.Instance, sinks []int, alloc []float64, s int) *netmod
 	}
 	if in.EdgeCap != nil {
 		sub.EdgeCap = subCols(in.EdgeCap, sinks)
+	}
+	if in.SinkOf != nil {
+		// Viewers are shard-atomic and their units contiguous in the parent,
+		// so renumbering the surviving groups densely keeps the invariants.
+		so := make([]int, len(sinks))
+		g, last := -1, -1
+		for c, j := range sinks {
+			if in.SinkOf[j] != last {
+				g, last = g+1, in.SinkOf[j]
+			}
+			so[c] = g
+		}
+		sub.SinkOf = so
 	}
 	return sub
 }
