@@ -70,11 +70,22 @@ func BenchmarkL5IncrementalRebuild(b *testing.B)   { runExp(b, "L5") }
 // pivots, and churn must match exactly).
 func TestIncrementalRebuildAcceptance(t *testing.T) {
 	sc := live.FlashCrowd(1, 50)
-	rebuild, err := live.Run(sc, live.Config{Policy: live.WarmStickyPolicy(), NoIncremental: true})
+	// Pin refactorize-on-install in both arms: only the incremental arm keeps
+	// lp.Problems alive across epochs, so only it can resume persisted
+	// factorizations — letting persistence differ between the arms perturbs
+	// near-tie pivot choices by ulps and masks what this test locks (the
+	// patched LP being identical to a rebuilt one). Persistence equivalence
+	// has its own locks in internal/lp and internal/live/equiv_test.go.
+	mkCfg := func(noIncr bool) live.Config {
+		cfg := live.Config{Policy: live.WarmStickyPolicy(), NoIncremental: noIncr}
+		cfg.Solver.RefactorOnInstall = true
+		return cfg
+	}
+	rebuild, err := live.Run(sc, mkCfg(true))
 	if err != nil {
 		t.Fatal(err)
 	}
-	incr, err := live.Run(sc, live.Config{Policy: live.WarmStickyPolicy()})
+	incr, err := live.Run(sc, mkCfg(false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,6 +105,85 @@ func TestIncrementalRebuildAcceptance(t *testing.T) {
 	if speedup < 3 {
 		t.Fatalf("incremental LP construction only %.2fx faster than rebuild (want >=3x): %d vs %d ns",
 			speedup, baseNS, incrNS)
+	}
+}
+
+// TestPersistentSolverAcceptance is the PR 6 acceptance gate on the
+// 50-epoch flash crowd: against the previous solver behavior (Dantzig
+// pricing, refactorize at every warm-start install), the current defaults
+// (devex pricing, persistent basis factorization) must (1) adopt carried
+// factorizations across the warm timeline, (2) perform strictly fewer
+// from-scratch refactorizations, (3) spend no more pivots — and the warm
+// churn re-solves must stay ≥2x cheaper in pivots than cold re-solves of
+// the same timeline under the previous behavior (they are ~14x cheaper;
+// the stack of warm starts + persistence + devex is what buys it). The
+// epoch wall must also drop: best-of-3 total wall, current vs previous.
+func TestPersistentSolverAcceptance(t *testing.T) {
+	sc := live.FlashCrowd(1, 50)
+	mk := func(prev bool, policy live.Policy) *live.RunReport {
+		t.Helper()
+		cfg := live.Config{Policy: policy}
+		if prev {
+			cfg.Solver.Pricing = lp.DantzigPricing
+			cfg.Solver.RefactorOnInstall = true
+		}
+		rep, err := live.Run(sc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	cur := mk(false, live.WarmStickyPolicy())
+	prev := mk(true, live.WarmStickyPolicy())
+	coldPrev := mk(true, live.ColdPolicy())
+
+	if cur.TotalFTUpdates == 0 {
+		t.Fatal("no warm start adopted a persisted factorization across the timeline")
+	}
+	if prev.TotalFTUpdates != 0 {
+		t.Fatal("previous-behavior run adopted factorizations")
+	}
+	if cur.TotalRefactorizations >= prev.TotalRefactorizations {
+		t.Fatalf("persistence saved no refactorizations: %d vs %d",
+			cur.TotalRefactorizations, prev.TotalRefactorizations)
+	}
+	if cur.TotalPivots > prev.TotalPivots {
+		t.Fatalf("devex + persistence spent more pivots than the previous solver: %d vs %d",
+			cur.TotalPivots, prev.TotalPivots)
+	}
+	if cur.TotalPivots*2 > coldPrev.TotalPivots {
+		t.Fatalf("warm churn re-solves not >=2x cheaper in pivots than previous-solver cold re-solves: %d vs %d",
+			cur.TotalPivots, coldPrev.TotalPivots)
+	}
+	bestWall := func(prev bool) int64 {
+		best := int64(0)
+		for i := 0; i < 3; i++ {
+			if w := mk(prev, live.WarmStickyPolicy()).TotalWallNS; best == 0 || w < best {
+				best = w
+			}
+		}
+		return best
+	}
+	curNS, prevNS := bestWall(false), bestWall(true)
+	t.Logf("50-epoch flash crowd: pivots %d vs %d (prev) vs %d (prev cold) | refactorizations %d vs %d | FT updates %d | best wall %v vs %v (%.2fx)",
+		cur.TotalPivots, prev.TotalPivots, coldPrev.TotalPivots,
+		cur.TotalRefactorizations, prev.TotalRefactorizations, cur.TotalFTUpdates,
+		time.Duration(curNS), time.Duration(prevNS), float64(prevNS)/float64(curNS))
+	if curNS >= prevNS && !raceEnabled {
+		t.Fatalf("epoch wall did not drop: best-of-3 %v (current) vs %v (previous solver)",
+			time.Duration(curNS), time.Duration(prevNS))
+	}
+
+	// The sharded path must additionally skip sub-instance extraction for
+	// every post-build epoch (cached sub-instances patched in place).
+	shCfg := live.Config{Policy: live.WarmStickyPolicy()}
+	shCfg.Solver.Shards = 3
+	sh, err := live.Run(sc, shCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.TotalExtractionsSkipped == 0 {
+		t.Fatal("sharded timeline never reused a cached sub-instance")
 	}
 }
 

@@ -53,6 +53,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/gen"
 	"repro/internal/live"
+	"repro/internal/lp"
 	"repro/internal/lpmodel"
 	"repro/internal/netmodel"
 )
@@ -230,6 +231,17 @@ type incrRow struct {
 	Patches   int  `json:"patches"`
 	Rebuilds  int  `json:"rebuilds"`
 	Identical bool `json:"identical"`
+	// The epoch-wall row: total wall of the same incremental timeline under
+	// the previous solver behavior (Dantzig pricing, refactorize at every
+	// warm-start install, re-extract every shard sub-instance) against the
+	// current defaults (devex pricing, persistent factorization, cached
+	// sub-instances), with the factorization telemetry of the default run.
+	PrevSolverWallNS   int64   `json:"prev_solver_epoch_wall_ns"`
+	EpochWallNS        int64   `json:"epoch_wall_ns"`
+	EpochWallSpeedup   float64 `json:"epoch_wall_speedup"`
+	Refactorizations   int     `json:"refactorizations"`
+	FTUpdates          int     `json:"ft_updates"`
+	ExtractionsSkipped int     `json:"extractions_skipped"`
 }
 
 // incrBench is the BENCH_incr.json schema.
@@ -266,18 +278,36 @@ func incrSweep(outPath string, quick bool) error {
 		if err != nil {
 			return err
 		}
-		run := func(noIncr bool) (*live.RunReport, error) {
+		run := func(noIncr, pinInstall, dantzig bool) (*live.RunReport, error) {
 			cfg := live.Config{Policy: live.WarmStickyPolicy(), NoIncremental: noIncr}
 			cfg.Solver.Shards = jb.shards
+			// The identical-check arms pin refactorize-on-install: only the
+			// incremental arm keeps lp.Problems alive, so persistence would
+			// perturb near-tie pivots between the arms for reasons unrelated
+			// to the patched-LP equivalence the column records.
+			cfg.Solver.RefactorOnInstall = pinInstall
+			if dantzig {
+				cfg.Solver.Pricing = lp.DantzigPricing
+			}
 			return live.Run(sc, cfg)
 		}
-		base, err := run(true)
+		base, err := run(true, true, false)
 		if err != nil {
 			return fmt.Errorf("%s rebuild: %w", jb.name, err)
 		}
-		incr, err := run(false)
+		incr, err := run(false, true, false)
 		if err != nil {
 			return fmt.Errorf("%s incremental: %w", jb.name, err)
+		}
+		// The epoch-wall pair: the same incremental timeline under the
+		// previous solver behavior vs the current defaults.
+		prev, err := run(false, true, true)
+		if err != nil {
+			return fmt.Errorf("%s prev-solver: %w", jb.name, err)
+		}
+		fast, err := run(false, false, false)
+		if err != nil {
+			return fmt.Errorf("%s default-solver: %w", jb.name, err)
 		}
 		row := incrRow{
 			Scenario:  jb.name,
@@ -290,8 +320,14 @@ func incrSweep(outPath string, quick bool) error {
 			Identical: base.TotalTrueCost == incr.TotalTrueCost &&
 				base.TotalPivots == incr.TotalPivots &&
 				base.TotalArcChurn == incr.TotalArcChurn,
+			PrevSolverWallNS:   prev.TotalWallNS,
+			EpochWallNS:        fast.TotalWallNS,
+			Refactorizations:   fast.TotalRefactorizations,
+			FTUpdates:          fast.TotalFTUpdates,
+			ExtractionsSkipped: fast.TotalExtractionsSkipped,
 		}
 		row.Speedup = float64(row.RebuildNS) / float64(row.IncrNS)
+		row.EpochWallSpeedup = float64(row.PrevSolverWallNS) / float64(row.EpochWallNS)
 		tag := ""
 		if jb.shards > 0 {
 			tag = fmt.Sprintf(" (shards=%d)", jb.shards)
@@ -300,6 +336,10 @@ func incrSweep(outPath string, quick bool) error {
 			jb.name, tag, time.Duration(row.RebuildNS).Round(time.Microsecond),
 			time.Duration(row.IncrNS).Round(time.Microsecond), row.Speedup,
 			row.Patches, row.Rebuilds, row.Identical)
+		fmt.Printf("%s%s: epoch wall %v (prev solver) vs %v (%.2fx), %d FT updates, %d refactorizations, %d extractions skipped\n",
+			jb.name, tag, time.Duration(row.PrevSolverWallNS).Round(time.Microsecond),
+			time.Duration(row.EpochWallNS).Round(time.Microsecond), row.EpochWallSpeedup,
+			row.FTUpdates, row.Refactorizations, row.ExtractionsSkipped)
 		bench.Rows = append(bench.Rows, row)
 	}
 	data, err := json.MarshalIndent(bench, "", "  ")

@@ -18,6 +18,7 @@
 //	overlaylive -scenario backbone -record trace.json    # save the delta schedule
 //	overlaylive -replay trace.json -policy warm          # replay a saved trace
 //	overlaylive -scenario diurnal -incremental=false     # full lp-build every epoch
+//	overlaylive -scenario flashcrowd -pricing dantzig    # solver pricing-rule override
 //
 // Each epoch's LP is normally patched in place from the epoch's deltas (the
 // lp-patch stage; -incremental=false restores the per-epoch rebuild
@@ -36,8 +37,22 @@ import (
 	"time"
 
 	"repro/internal/live"
+	"repro/internal/lp"
 	"repro/internal/stats"
 )
+
+// parsePricing maps the -pricing flag to the solver's pricing rules.
+func parsePricing(s string) (lp.Pricing, error) {
+	switch s {
+	case "devex":
+		return lp.DevexPricing, nil
+	case "dantzig":
+		return lp.DantzigPricing, nil
+	case "partial":
+		return lp.PartialPricing, nil
+	}
+	return 0, fmt.Errorf("unknown pricing %q (want devex|dantzig|partial)", s)
+}
 
 func main() {
 	var (
@@ -56,11 +71,16 @@ func main() {
 		replay     = flag.String("replay", "", "run a scenario recorded with -record instead of building one (-scenario/-epochs/-seed ignored)")
 		sloWindow  = flag.Int("slowindow", 8, "availability SLO sliding window, in epochs")
 		sloTarget  = flag.Float64("slotarget", 0.5, "fraction of active sinks that must meet their threshold for an epoch to count as available (raise toward 1 with -repair-style solvers)")
+		pricing    = flag.String("pricing", "devex", "simplex pricing rule: devex|dantzig|partial")
+		refEv      = flag.Int("refactor-every", 0, "basis refactorization cadence in pivots (0 = auto: 16+2√rows)")
 	)
 	flag.Parse()
+	pr, err := parsePricing(*pricing)
+	if err != nil {
+		fatal(err)
+	}
 
 	var sc *live.Scenario
-	var err error
 	if *replay != "" {
 		f, ferr := os.Open(*replay)
 		if ferr != nil {
@@ -107,6 +127,8 @@ func main() {
 		SLOWindow:     *sloWindow, SLOTarget: *sloTarget,
 	}
 	cfg.Solver.Shards = *shards
+	cfg.Solver.Pricing = pr
+	cfg.Solver.RefactorEvery = *refEv
 	start := time.Now()
 	reps, err := live.ComparePolicies(sc, policies, cfg)
 	if err != nil {

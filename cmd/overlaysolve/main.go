@@ -5,6 +5,7 @@
 //
 //	overlaysolve -in instance.json [-o design.json] [-seed 1] [-c 64]
 //	             [-greedy] [-exact] [-lp-only] [-shards 8] [-json report.json]
+//	             [-pricing devex|dantzig|partial] [-refactor-every N]
 //
 // -greedy and -exact run the baseline / exact IP solver instead of the
 // LP-rounding algorithm (exact is exponential: tiny instances only).
@@ -24,8 +25,22 @@ import (
 	"repro/internal/bnb"
 	"repro/internal/core"
 	"repro/internal/greedy"
+	"repro/internal/lp"
 	"repro/internal/netmodel"
 )
+
+// parsePricing maps the -pricing flag to the solver's pricing rules.
+func parsePricing(s string) (lp.Pricing, error) {
+	switch s {
+	case "devex":
+		return lp.DevexPricing, nil
+	case "dantzig":
+		return lp.DantzigPricing, nil
+	case "partial":
+		return lp.PartialPricing, nil
+	}
+	return 0, fmt.Errorf("unknown pricing %q (want devex|dantzig|partial)", s)
+}
 
 func main() {
 	var (
@@ -42,8 +57,15 @@ func main() {
 		shards  = flag.Int("shards", 0, "≥2: solve one LP per commodity-region shard in parallel (internal/shard)")
 		jsonOut = flag.String("json", "", "write a machine-readable solve report (stages, audit, shard counters) here")
 		stages  = flag.Bool("stages", false, "print the per-stage pipeline instrumentation (lp-build/lp-patch/lp-solve/... wall and run counts)")
+		pricing = flag.String("pricing", "devex", "simplex pricing rule: devex|dantzig|partial")
+		refEv   = flag.Int("refactor-every", 0, "basis refactorization cadence in pivots (0 = auto: 16+2√rows)")
 	)
 	flag.Parse()
+	pr, err := parsePricing(*pricing)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "overlaysolve: %v\n", err)
+		os.Exit(2)
+	}
 	if *inPath == "" {
 		fmt.Fprintln(os.Stderr, "overlaysolve: -in is required")
 		flag.Usage()
@@ -88,6 +110,8 @@ func main() {
 		opts.LPOnly = *lpOnly
 		opts.RepairCoverage = *repair
 		opts.Shards = *shards
+		opts.Pricing = pr
+		opts.RefactorEvery = *refEv
 		var res *core.Result
 		if *prior != "" {
 			pf, err := os.Open(*prior)

@@ -62,6 +62,16 @@ type Options struct {
 	// so warm bases survive sink join/leave churn (see lpmodel.Options.
 	// FixedShape). The live engine sets this; static solves don't need it.
 	LPFixedShape bool
+	// Pricing selects the simplex entering rule (default lp.DevexPricing)
+	// and RefactorEvery overrides the basis refactorization cadence (0 =
+	// solver default) — both forwarded to every LP solve, per-shard ones
+	// included.
+	Pricing       lp.Pricing
+	RefactorEvery int
+	// RefactorOnInstall forces every warm-started LP solve to refactorize
+	// its basis at install instead of resuming a persisted factorization
+	// (the pre-persistence behavior; see lp.Options.RefactorOnInstall).
+	RefactorOnInstall bool
 	// Shards ≥ 2 partitions the instance into that many commodity-region
 	// shards solved in parallel with a capacity-coordination pass
 	// (internal/shard); the pipeline then runs the shard-partition /
@@ -151,6 +161,10 @@ type Result struct {
 	// whether the epoch fell back to a full lp-build and how many matrix /
 	// rhs / objective cells the lp-patch stage rewrote.
 	Patch *lpmodel.PatchStats
+	// LPStats totals the solver's factorization events across the solve —
+	// refactorizations, adopted (persisted) factorizations, devex resets.
+	// For sharded solves it sums over shards.
+	LPStats lp.SolveStats
 	// ShardInfo summarizes the sharded path (nil for monolithic solves);
 	// ShardState carries the partition, capacity split, and per-shard
 	// bases forward for the next same-shaped solve (core.Session threads
@@ -184,6 +198,13 @@ type ShardInfo struct {
 	// walls, which the outer shard-solve stage timing subsumes (totals
 	// across concurrent shards, not elapsed wall).
 	LPBuildNS, LPPatchNS int64
+	// ExtractionsSkipped counts shards that reused their cached
+	// sub-instance this epoch because their routed dirty set was empty —
+	// the zero-copy path that never touches extract.
+	ExtractionsSkipped int
+	// PerShardStats breaks Result.LPStats down by shard (nil when the
+	// shard path didn't run).
+	PerShardStats []lp.SolveStats
 	// Fallback reports that coordination could not feed every shard (a
 	// shard's LP stayed infeasible at the round cap) and the result came
 	// from a monolithic fallback solve instead.
@@ -206,7 +227,21 @@ func lpOptions(in *netmodel.Instance, opts Options) lpmodel.Options {
 	lpOpts := lpmodel.DefaultOptions(in)
 	lpOpts.CuttingPlane = !opts.DisableCuttingPlane
 	lpOpts.FixedShape = opts.LPFixedShape
+	lpOpts.Pricing = opts.Pricing
+	lpOpts.RefactorEvery = opts.RefactorEvery
+	lpOpts.RefactorOnInstall = opts.RefactorOnInstall
 	return lpOpts
+}
+
+// solverOptions derives the lp.Options of a solve (the solver-tuning knobs
+// plus the warm-start basis).
+func solverOptions(opts Options) lp.Options {
+	return lp.Options{
+		WarmStart:         opts.WarmStart,
+		Pricing:           opts.Pricing,
+		RefactorEvery:     opts.RefactorEvery,
+		RefactorOnInstall: opts.RefactorOnInstall,
+	}
 }
 
 // lpStages is the head of the pipeline: model construction and the exact
@@ -217,7 +252,7 @@ func lpOptions(in *netmodel.Instance, opts Options) lpmodel.Options {
 // as lp-build.
 func lpStages(ps *pipelineState) []Stage {
 	solve := Stage{Name: "lp-solve", Run: func(ps *pipelineState) error {
-		frac, err := lpmodel.SolveBuilt(ps.in, ps.prob, ps.vm, ps.opts.WarmStart)
+		frac, err := lpmodel.SolveBuiltOpts(ps.in, ps.prob, ps.vm, solverOptions(ps.opts))
 		if err != nil {
 			return err
 		}
@@ -336,9 +371,10 @@ func solveMono(in *netmodel.Instance, opts Options) (*Result, error) {
 	frac := ps.frac
 
 	res := &Result{
-		Frac:   frac,
-		LPCost: frac.Cost,
-		Patch:  ps.patch,
+		Frac:    frac,
+		LPCost:  frac.Cost,
+		Patch:   ps.patch,
+		LPStats: frac.Stats,
 		Timings: Timings{
 			LP:        tracker.wallOf("lp-build") + tracker.wallOf("lp-patch") + tracker.wallOf("lp-solve"),
 			LPPivots:  frac.Iterations,
@@ -370,6 +406,7 @@ func solveMono(in *netmodel.Instance, opts Options) (*Result, error) {
 			Frac:         frac,
 			LPCost:       frac.Cost,
 			Patch:        ps.patch,
+			LPStats:      frac.Stats,
 			RoundedCost:  ps.rounded.Cost,
 			RoundInst:    ps.rounded.Instrument(in, frac.Cost),
 			PathRounding: ps.usePath,

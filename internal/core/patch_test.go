@@ -29,6 +29,15 @@ func TestSessionIncrementalMatchesRebuild(t *testing.T) {
 	mkOpts := func(incremental bool) core.Options {
 		opts := core.DefaultOptions(sc.Seed)
 		opts.IncrementalLP = incremental
+		// Pin the pre-persistence install behavior: the incremental arm
+		// keeps one lp.Problem alive so its warm starts can resume the
+		// persisted factorization, while the rebuild arm constructs a new
+		// Problem every epoch and cannot — letting persistence differ
+		// between the arms would diverge the solver trajectories by ulps
+		// and mask what this test locks, the Patcher's model equivalence.
+		// Persistence itself is locked by TestPersistedFactorization* in
+		// internal/lp and the live-level equivalence tests.
+		opts.RefactorOnInstall = true
 		return opts
 	}
 	inP := sc.Base.Clone()
@@ -116,7 +125,10 @@ func TestShardedIncrementalPatchesOnlyDirtyShards(t *testing.T) {
 		t.Fatal("no shard state carried")
 	}
 
-	// A quiet epoch: no deltas → no shard rebuilds, no patches anywhere.
+	// A quiet epoch: no deltas → no shard rebuilds, no patches anywhere —
+	// and with the cached sub-instances in place, no extraction either:
+	// every shard rebinds its cached sub-instance (3 skips of 3 shards),
+	// adopts its persisted factorization, and never refactorizes.
 	res, err = sess.Step(in)
 	if err != nil {
 		t.Fatal(err)
@@ -125,6 +137,17 @@ func TestShardedIncrementalPatchesOnlyDirtyShards(t *testing.T) {
 		if res.ShardInfo.PerShardPatches[s] != 0 || res.ShardInfo.PerShardRebuilds[s] != 0 {
 			t.Fatalf("quiet epoch: shard %d reported patches=%d rebuilds=%d",
 				s, res.ShardInfo.PerShardPatches[s], res.ShardInfo.PerShardRebuilds[s])
+		}
+	}
+	if res.ShardInfo.ExtractionsSkipped != 3 {
+		t.Fatalf("quiet epoch extracted sub-instances: %d of 3 skips", res.ShardInfo.ExtractionsSkipped)
+	}
+	for s, st := range res.ShardInfo.PerShardStats {
+		if st.Refactorizations != 0 {
+			t.Fatalf("quiet epoch: shard %d refactorized %d times", s, st.Refactorizations)
+		}
+		if st.FTUpdates == 0 {
+			t.Fatalf("quiet epoch: shard %d did not adopt its persisted factorization", s)
 		}
 	}
 
@@ -154,5 +177,15 @@ func TestShardedIncrementalPatchesOnlyDirtyShards(t *testing.T) {
 			t.Fatalf("untouched shard %d was patched (%d cells, %d rebuilds)",
 				s, si.PerShardPatches[s], si.PerShardRebuilds[s])
 		}
+		// A shard with an empty routed dirty set must not pay any basis
+		// work either: its warm start adopts the persisted factorization.
+		if si.PerShardStats[s].Refactorizations != 0 {
+			t.Fatalf("untouched shard %d refactorized %d times", s, si.PerShardStats[s].Refactorizations)
+		}
+	}
+	// The dirty-sink epoch still extracts nothing: every shard — dirty one
+	// included — patches its cached sub-instance in place.
+	if si.ExtractionsSkipped != 3 {
+		t.Fatalf("delta epoch extracted sub-instances: %d of 3 skips", si.ExtractionsSkipped)
 	}
 }

@@ -94,6 +94,7 @@ func solveSharded(in *netmodel.Instance, opts Options) (*Result, error) {
 			Vars:        res.Timings.TotalVars,
 			Rows:        res.Timings.TotalRows,
 			Basis:       res.WarmStartBasis(),
+			LPStats:     res.LPStats,
 			Patch:       res.Patch,
 		}, nil
 	}
@@ -104,10 +105,19 @@ func solveSharded(in *netmodel.Instance, opts Options) (*Result, error) {
 		{Name: "shard-partition", Run: func(ps *pipelineState) error {
 			plan, err := shard.Prepare(in, sopts, opts.ShardState)
 			ps.plan = plan
-			if err == nil && opts.IncrementalLP {
-				localDirty = routeDirty(opts.patchDirty, plan.Sinks, in.NumSinks)
+			if err != nil {
+				return err
 			}
-			return err
+			if opts.IncrementalLP {
+				// The delta flow guarantees every instance mutation is in
+				// the dirty set, so shards it doesn't route to can reuse
+				// their cached sub-instance without re-extraction.
+				localDirty = routeDirty(opts.patchDirty, plan.Sinks, in.NumSinks)
+				plan.BindSubs(localDirty)
+			} else {
+				plan.BindSubs(nil)
+			}
+			return nil
 		}},
 		{Name: "shard-solve", Run: func(ps *pipelineState) error {
 			return ps.plan.SolveAll(solveFn)
@@ -152,7 +162,8 @@ func solveSharded(in *netmodel.Instance, opts Options) (*Result, error) {
 			TotalVars: out.Vars,
 			TotalRows: out.Rows,
 		},
-		Stages: tracker.stats,
+		Stages:  tracker.stats,
+		LPStats: out.LPStats,
 		ShardInfo: &ShardInfo{
 			Shards:             ps.plan.Shards(),
 			Rounds:             out.Rounds,
@@ -163,6 +174,8 @@ func solveSharded(in *netmodel.Instance, opts Options) (*Result, error) {
 			PerShardRebuilds:   out.PerShardRebuilds,
 			LPBuildNS:          out.LPBuildNS,
 			LPPatchNS:          out.LPPatchNS,
+			ExtractionsSkipped: out.ExtractionsSkipped,
+			PerShardStats:      out.PerShardStats,
 		},
 		ShardState: out.State,
 	}

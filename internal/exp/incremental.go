@@ -26,12 +26,22 @@ func L5IncrementalRebuild(cfg Config) *stats.Table {
 			t.AddNote("%s: %v", name, err)
 			continue
 		}
-		base, err := live.Run(sc, live.Config{Policy: live.WarmStickyPolicy(), NoIncremental: true})
+		// Refactorize on warm-start install in both arms: only the incremental
+		// arm keeps lp.Problems alive, so only it can resume persisted
+		// factorizations — the "identical" column compares the patched LP to
+		// a rebuilt one, not the persistence path (which internal/lp and
+		// internal/live/equiv_test.go lock separately).
+		mkCfg := func(noIncr bool) live.Config {
+			c := live.Config{Policy: live.WarmStickyPolicy(), NoIncremental: noIncr}
+			c.Solver.RefactorOnInstall = true
+			return c
+		}
+		base, err := live.Run(sc, mkCfg(true))
 		if err != nil {
 			t.AddNote("%s rebuild run failed: %v", name, err)
 			continue
 		}
-		incr, err := live.Run(sc, live.Config{Policy: live.WarmStickyPolicy()})
+		incr, err := live.Run(sc, mkCfg(false))
 		if err != nil {
 			t.AddNote("%s incremental run failed: %v", name, err)
 			continue

@@ -182,6 +182,16 @@ type EpochReport struct {
 	// when Config.NoIncremental.
 	LPPatches  int `json:"lp_patches"`
 	LPRebuilds int `json:"lp_rebuilds"`
+	// Solver factorization telemetry (summed over shards on the sharded
+	// path): Refactorizations counts from-scratch basis factorizations,
+	// FTUpdates warm starts that resumed a persisted factorization instead,
+	// DevexResets devex reference-framework resets, and ExtractionsSkipped
+	// the shards that reused their cached sub-instance without extraction
+	// (always 0 on the monolithic path).
+	Refactorizations   int `json:"refactorizations"`
+	FTUpdates          int `json:"ft_updates"`
+	DevexResets        int `json:"devex_resets"`
+	ExtractionsSkipped int `json:"extractions_skipped"`
 	// SLOOk reports whether this epoch met the availability target
 	// (MetDemand ≥ SLOTarget × ActiveSinks); SLOWindowFrac is the fraction
 	// of the trailing SLOWindow epochs (including this one) that did.
@@ -214,6 +224,11 @@ type RunReport struct {
 	// Incremental LP rebuild totals (zero when Config.NoIncremental).
 	TotalLPPatches  int `json:"total_lp_patches"`
 	TotalLPRebuilds int `json:"total_lp_rebuilds"`
+	// Solver factorization totals across epochs.
+	TotalRefactorizations   int `json:"total_refactorizations"`
+	TotalFTUpdates          int `json:"total_ft_updates"`
+	TotalDevexResets        int `json:"total_devex_resets"`
+	TotalExtractionsSkipped int `json:"total_extractions_skipped"`
 	// Availability SLO summary: the window/target the tracker ran with,
 	// the number of epochs missing the target, and the worst trailing-
 	// window availability seen over the timeline.
@@ -322,7 +337,11 @@ func Run(sc *Scenario, cfg Config) (*RunReport, error) {
 				er.LPRebuilds = 1
 			}
 		}
+		er.Refactorizations = res.LPStats.Refactorizations
+		er.FTUpdates = res.LPStats.FTUpdates
+		er.DevexResets = res.LPStats.DevexResets
 		if si := res.ShardInfo; si != nil {
+			er.ExtractionsSkipped = si.ExtractionsSkipped
 			for _, n := range si.PerShardPatches {
 				er.LPPatches += n
 			}
@@ -383,6 +402,10 @@ func Run(sc *Scenario, cfg Config) (*RunReport, error) {
 		rep.TotalWallNS += er.WallNS
 		rep.TotalLPPatches += er.LPPatches
 		rep.TotalLPRebuilds += er.LPRebuilds
+		rep.TotalRefactorizations += er.Refactorizations
+		rep.TotalFTUpdates += er.FTUpdates
+		rep.TotalDevexResets += er.DevexResets
+		rep.TotalExtractionsSkipped += er.ExtractionsSkipped
 		if !er.AuditOK {
 			rep.AllAuditOK = false
 		}

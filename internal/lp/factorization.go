@@ -1,0 +1,105 @@
+package lp
+
+// The persistent basis factorization. A solve's final eta file used to die
+// with the solver's working state: every warm start paid a full
+// refactorization at install even when the basis — and the matrix — had not
+// changed since the factorization was built. Factorization splits that state
+// out into a handle that Solution.Basis carries across solves, so the
+// re-optimization loop (lpmodel.Patcher keeping one Problem alive across
+// epochs) can resume pivoting from the exact elimination form it left off
+// with.
+//
+// The invalidation contract with the in-place patch API: the Problem stamps
+// every structural column a SetRowCoef actually changed with a monotone
+// patch version. A carried factorization is adoptable only when it was
+// snapshotted from the SAME Problem and no column that is basic in it has
+// been patched since the snapshot — a patched nonbasic column leaves B
+// untouched, while a patched basic column changes B itself, so the eta file
+// would invert a stale matrix. Adoption then installs the carried lower/
+// upper/update files verbatim (a Forrest–Tomlin-style product form: later
+// pivots keep appending update etas to the carried file instead of starting
+// from a fresh refactorization), and the install refactorizes only when a
+// patched column is currently basic, the handle belongs to a different
+// Problem, or the carried update file has already outgrown the
+// refactorization cadence.
+
+// Factorization is the reusable eta-file basis state of a finished solve:
+// the elimination-form factors (lower/upper from the last refactorization,
+// the product-form updates appended since), the basis-to-row assignment they
+// were built for (refactorization permutes it, so column statuses alone
+// cannot reconstruct it), and the identity of the Problem and patch version
+// they factorize. Snapshots reference the finished solver's arenas — a
+// warm-starting solver copies them on adoption, so one handle can seed any
+// number of re-solves.
+type Factorization struct {
+	m       int
+	basis   []int     // basis[r] = column basic in row r at snapshot time
+	artSign []float64 // artificial column signs the eta file was built under
+	lower   *etaFile
+	upper   *etaFile
+	updates *etaFile
+
+	prob *Problem // identity: adoption requires the very same Problem
+	ver  uint64   // prob.patchVer at snapshot time
+}
+
+// UpdateEtas returns the number of product-form update etas the handle
+// carries beyond its last refactorization (diagnostic: the drift-bound tests
+// assert the refactorization cadence keeps this below Options.RefactorEvery).
+func (f *Factorization) UpdateEtas() int {
+	if f == nil {
+		return 0
+	}
+	return f.updates.count()
+}
+
+// snapshotFactorization captures the solver's live factorization state. The
+// eta files are referenced, not copied: the solver is finished and its state
+// is dead, while adopters copy before mutating.
+func (s *sparse) snapshotFactorization() *Factorization {
+	return &Factorization{
+		m:       s.m,
+		basis:   append([]int(nil), s.basis...),
+		artSign: append([]float64(nil), s.artSign...),
+		lower:   s.lower,
+		upper:   s.upper,
+		updates: s.updates,
+		prob:    s.p,
+		ver:     s.p.patchVer,
+	}
+}
+
+// adoptFactorization installs a carried factorization instead of
+// refactorizing, when it is valid for the current problem state: same
+// Problem and shape, a basic set agreeing with the statuses installWarm just
+// loaded, and no structural column that is basic in the handle patched since
+// the snapshot. Returns false when the caller must refactorize. On success
+// the basic values are recomputed against the current rhs and bounds, and
+// the carried update file — if it already outgrew the cadence — is collapsed
+// by an immediate refactorization (the Forrest–Tomlin file cannot be allowed
+// to grow without bound across epochs: the etaDrop truncation per eta would
+// otherwise accumulate past the feasibility audit's tolerance).
+func (s *sparse) adoptFactorization(f *Factorization) bool {
+	if f == nil || f.prob != s.p || f.m != s.m || len(f.basis) != s.m || len(f.artSign) != s.m {
+		return false
+	}
+	for _, c := range f.basis {
+		if s.stat[c] != basic {
+			return false
+		}
+		if c < s.n && s.p.colVer != nil && s.p.colVer[c] > f.ver {
+			return false // patched basic column: B changed under the file
+		}
+	}
+	copy(s.basis, f.basis)
+	copy(s.artSign, f.artSign)
+	s.lower.copyFrom(f.lower)
+	s.upper.copyFrom(f.upper)
+	s.updates.copyFrom(f.updates)
+	s.stats.FTUpdates++
+	if s.updates.count() >= s.refactorEvery {
+		return s.refactor()
+	}
+	s.computeBeta()
+	return true
+}

@@ -1,0 +1,227 @@
+package lp
+
+// Locks for the persistent basis factorization: a warm start that adopts a
+// carried Factorization must reach the same optimum as one that refactorizes
+// at install, adoption must be refused whenever a patched column is basic in
+// the carried file, and the Forrest–Tomlin update file must stay bounded by
+// the refactorization cadence across arbitrarily long patched-re-solve
+// chains (the etaDrop truncation per eta would otherwise accumulate past the
+// feasibility audit's tolerance).
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// patchEpoch applies one epoch of deterministic churn to a covering LP:
+// objective drift on a third of the columns plus an RHS change — the exact
+// churn surface the overlay Patcher drives (costs, thresholds), none of
+// which touches the basis matrix B.
+func patchEpoch(p *Problem, seed uint64) {
+	rng := stats.NewRNG(seed)
+	for j := 0; j < p.NumVars(); j++ {
+		if rng.Bernoulli(0.33) {
+			p.AddObjectiveCoef(j, rng.Range(-0.15, 0.15))
+		}
+	}
+	r := rng.Intn(p.NumRows())
+	_, rhs := p.RHS(r)
+	p.SetRHS(r, rhs*rng.Range(0.95, 1.05))
+}
+
+// TestPersistedFactorizationAcrossPatchedEpochs is the property test for the
+// persistent factorization: two chains solve the same 12-epoch patched
+// re-solve sequence, one adopting the carried eta file (the default), one
+// refactorizing at every install. Both must stay Optimal with matching
+// objectives and feasible points every epoch, and the adopting chain must
+// actually have adopted (FT-updates fired) — otherwise the test is vacuous.
+func TestPersistedFactorizationAcrossPatchedEpochs(t *testing.T) {
+	const epochs = 12
+	var totalPersist, totalRefactor SolveStats
+	for trial := 0; trial < 10; trial++ {
+		seed := uint64(9000 + trial)
+		pA := randomCovering(seed) // adopts persisted factorizations
+		pB := randomCovering(seed) // refactorizes at every install
+		solA, err := pA.SolveOpts(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		solB, err := pB.SolveOpts(Options{RefactorOnInstall: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := 0; e < epochs; e++ {
+			eseed := seed ^ uint64(e)*0x9e3779b97f4a7c15
+			patchEpoch(pA, eseed)
+			patchEpoch(pB, eseed)
+			solA, err = pA.SolveOpts(Options{WarmStart: solA.Basis})
+			if err != nil {
+				t.Fatal(err)
+			}
+			solB, err = pB.SolveOpts(Options{WarmStart: solB.Basis, RefactorOnInstall: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if solA.Status != solB.Status {
+				t.Fatalf("trial %d epoch %d: status %v (persisted) vs %v (refactorized)",
+					trial, e, solA.Status, solB.Status)
+			}
+			if solA.Status != Optimal {
+				t.Fatalf("trial %d epoch %d: patched re-solve not optimal: %v", trial, e, solA.Status)
+			}
+			// Same optimum: trajectories may differ when near-tie pivots
+			// resolve differently under the two elimination forms, but the
+			// optimal value must agree to solver tolerance.
+			if math.Abs(solA.Objective-solB.Objective) > 1e-9*(1+math.Abs(solB.Objective)) {
+				t.Fatalf("trial %d epoch %d: persisted %.17g != refactorized %.17g",
+					trial, e, solA.Objective, solB.Objective)
+			}
+			if err := pA.CheckFeasible(solA.X, 1e-6); err != nil {
+				t.Fatalf("trial %d epoch %d: persisted point infeasible: %v", trial, e, err)
+			}
+			totalPersist.Add(solA.Stats)
+			totalRefactor.Add(solB.Stats)
+		}
+	}
+	t.Logf("persisted: %+v | refactorized: %+v", totalPersist, totalRefactor)
+	if totalPersist.FTUpdates == 0 {
+		t.Fatal("persisting chain never adopted a carried factorization")
+	}
+	if totalRefactor.FTUpdates != 0 {
+		t.Fatal("RefactorOnInstall chain adopted a factorization")
+	}
+	if totalPersist.Refactorizations >= totalRefactor.Refactorizations {
+		t.Fatalf("persistence bought no refactorizations: %d vs %d",
+			totalPersist.Refactorizations, totalRefactor.Refactorizations)
+	}
+}
+
+// TestPersistedFactorizationSameProblemAdopts: re-solving the identical
+// problem from its own optimal basis must adopt the carried file — zero
+// refactorizations, one FT install, the same optimum (to a few ulps: the
+// adopting solve recomputes the basic values through the carried file,
+// while the original solve reported values that accumulated pivot drift).
+func TestPersistedFactorizationSameProblemAdopts(t *testing.T) {
+	p := randomCovering(4242)
+	first, err := p.Solve()
+	if err != nil || first.Status != Optimal {
+		t.Fatalf("%v %v", first.Status, err)
+	}
+	if first.Basis == nil || first.Basis.Fact == nil {
+		t.Fatal("optimal solve carried no factorization handle")
+	}
+	again, err := p.SolveOpts(Options{WarmStart: first.Basis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Status != Optimal || math.Abs(again.Objective-first.Objective) > 1e-12*(1+math.Abs(first.Objective)) {
+		t.Fatalf("re-solve: %v %.17g, want optimal %.17g", again.Status, again.Objective, first.Objective)
+	}
+	if again.Stats.FTUpdates != 1 {
+		t.Fatalf("FTUpdates = %d, want 1 (adoption)", again.Stats.FTUpdates)
+	}
+	if again.Stats.Refactorizations != 0 {
+		t.Fatalf("re-solve of an unchanged problem refactorized %d times", again.Stats.Refactorizations)
+	}
+	if again.Iterations > 2 {
+		t.Fatalf("re-solve from adopted factorization took %d iterations", again.Iterations)
+	}
+}
+
+// TestPersistedFactorizationRejectsPatchedBasicColumn: patching a column
+// that is basic in the carried file changes B itself, so adoption must be
+// refused and the install must refactorize — and still reach the optimum of
+// a freshly built problem with the same data.
+func TestPersistedFactorizationRejectsPatchedBasicColumn(t *testing.T) {
+	p := randomCovering(777)
+	p.Precompute()
+	first, err := p.Solve()
+	if err != nil || first.Status != Optimal {
+		t.Fatalf("%v %v", first.Status, err)
+	}
+	// Find a structural column that is basic and a row it appears in.
+	target, row, pos := -1, -1, -1
+	for j := 0; j < p.NumVars() && target < 0; j++ {
+		if first.Basis.ColStat[j] != BasisBasic {
+			continue
+		}
+		for r := 0; r < p.NumRows() && target < 0; r++ {
+			for k := 0; k < p.RowLen(r); k++ {
+				if p.RowCoef(r, k).Var == j {
+					target, row, pos = j, r, k
+					break
+				}
+			}
+		}
+	}
+	if target < 0 {
+		t.Fatal("no basic structural column found")
+	}
+	p.SetRowCoef(row, pos, p.RowCoef(row, pos).Val*1.25)
+	warm, err := p.SolveOpts(Options{WarmStart: first.Basis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Status != Optimal {
+		t.Fatalf("warm re-solve after basic-column patch: %v", warm.Status)
+	}
+	if warm.Stats.FTUpdates != 0 {
+		t.Fatal("adoption was not refused for a patched basic column")
+	}
+	if warm.Stats.Refactorizations == 0 {
+		t.Fatal("install did not refactorize after refusing adoption")
+	}
+	fresh, err := p.SolveOpts(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(warm.Objective-fresh.Objective) > 1e-9 {
+		t.Fatalf("post-patch warm %.17g != fresh %.17g", warm.Objective, fresh.Objective)
+	}
+}
+
+// TestPersistedFactorizationUpdateEtasBounded is the etaDrop drift bound: a
+// long chain of patched warm re-solves keeps appending Forrest–Tomlin
+// update etas to the carried file, and the install-time cadence check must
+// collapse the file by refactorizing before it outgrows RefactorEvery — so
+// the accumulated per-eta truncation error never degrades the feasibility
+// audit. Every epoch's carried handle is checked against the bound and
+// every epoch's point against the feasibility tolerance.
+func TestPersistedFactorizationUpdateEtasBounded(t *testing.T) {
+	p := randomCovering(31337)
+	sol, err := p.Solve()
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("%v %v", sol.Status, err)
+	}
+	bound := 16 + 2*int(math.Sqrt(float64(p.NumRows())))
+	var total SolveStats
+	for e := 0; e < 60; e++ {
+		patchEpoch(p, uint64(100+e))
+		sol, err = p.SolveOpts(Options{WarmStart: sol.Basis})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("epoch %d: %v", e, sol.Status)
+		}
+		if sol.Basis == nil || sol.Basis.Fact == nil {
+			t.Fatalf("epoch %d: no factorization carried", e)
+		}
+		if n := sol.Basis.Fact.UpdateEtas(); n >= bound {
+			t.Fatalf("epoch %d: carried update file holds %d etas, cadence bound is %d", e, n, bound)
+		}
+		if err := p.CheckFeasible(sol.X, 1e-6); err != nil {
+			t.Fatalf("epoch %d: feasibility degraded: %v", e, err)
+		}
+		total.Add(sol.Stats)
+	}
+	t.Logf("60 patched epochs: %+v (update-eta bound %d)", total, bound)
+	if total.FTUpdates == 0 {
+		t.Fatal("chain never adopted a carried factorization")
+	}
+	if total.Refactorizations == 0 {
+		t.Fatal("cadence never collapsed the update file across 60 epochs")
+	}
+}

@@ -23,9 +23,9 @@
 //     partial pivoting over the current basis columns) every RefactorEvery
 //     pivots — the refactorization cadence bounds both eta-file growth and
 //     accumulated floating-point drift.
-//   - Pricing: Dantzig pricing over the sparse columns (reduced costs from
-//     one BTRAN per iteration), with an optional rotating partial-pricing
-//     mode for very wide problems and a Bland fallback for anti-cycling.
+//   - Pricing: devex (approximate steepest-edge reference weights, reset at
+//     each refactorization) by default, with Dantzig and rotating partial
+//     pricing selectable via Options and a Bland fallback for anti-cycling.
 //   - Phases: a cold solve runs the classic two phases — artificials are
 //     priced out first, then the true objective — while a warm solve skips
 //     phase 1 entirely when the supplied basis is already primal feasible
@@ -35,12 +35,14 @@
 //
 // # Warm starts
 //
-// Solution.Basis snapshots the final basis as per-column statuses; passing
-// it back through Options.WarmStart re-solves a same-shaped problem
-// (identical variable and row counts — costs and bounds may differ) from
-// that basis instead of from scratch. Invalid or unusable warm bases are
-// detected and silently degrade to a cold solve, so warm starting is always
-// safe to attempt.
+// Solution.Basis snapshots the final basis as per-column statuses plus a
+// persistent Factorization handle; passing it back through Options.WarmStart
+// re-solves a same-shaped problem (identical variable and row counts — costs
+// and bounds may differ) from that basis instead of from scratch. When the
+// re-solve targets the very same Problem and no patched column is basic, the
+// install resumes from the carried eta file rather than refactorizing.
+// Invalid or unusable warm bases are detected and silently degrade to a cold
+// solve, so warm starting is always safe to attempt.
 //
 // The previous dense two-phase tableau solver is retained behind
 // Options.Dense as a golden reference: tests cross-check every sparse
@@ -101,6 +103,16 @@ type Problem struct {
 	// re-solves — branch-and-bound dives — rebuild nothing. AddConstraint
 	// invalidates it.
 	csc *cscMatrix
+
+	// patchVer counts the matrix-coefficient patches applied so far, and
+	// colVer (allocated lazily on the first patch) stamps each structural
+	// column with the patchVer of its latest change. A Factorization carried
+	// across solves records the patchVer it was built under; comparing
+	// against colVer at warm-start install tells exactly which columns
+	// changed underneath it. Objective, rhs, and bound edits do not bump the
+	// version: they leave the basis matrix B untouched.
+	patchVer uint64
+	colVer   []uint64
 }
 
 // NewProblem returns a problem with numVars structural variables, objective
@@ -180,10 +192,12 @@ func (p *Problem) Precompute() {
 // change VALUES only — the sparsity pattern (which (row, var) pairs exist)
 // is fixed at AddConstraint time — so the cached CSC matrix is refreshed in
 // place rather than rebuilt, and a warm-start Basis captured before the
-// patch remains shape-compatible afterwards. The basis FACTORIZATION is not
-// persisted across solves: each warm solve refactorizes at install, so a
-// patched column that happens to be basic is picked up there with no extra
-// invalidation protocol.
+// patch remains shape-compatible afterwards. The basis factorization IS
+// persisted across solves (Basis.Fact): SetRowCoef stamps the patched
+// column with a monotone version so a warm-start install can tell whether
+// any column that is basic in the carried factorization changed since it
+// was built — only then does the install refactorize; otherwise it resumes
+// from the carried eta file (see Factorization).
 //
 // Patches must not race with concurrent solves of the same Problem (the
 // shared-CSC concurrency guarantee of Precompute covers readers only).
@@ -213,6 +227,11 @@ func (p *Problem) SetRowCoef(r, pos int, v float64) bool {
 		return false
 	}
 	c.Val = v
+	p.patchVer++
+	if p.colVer == nil {
+		p.colVer = make([]uint64, p.n)
+	}
+	p.colVer[c.Var] = p.patchVer
 	if p.csc != nil {
 		if q := p.csc.find(c.Var, int32(r)); q >= 0 {
 			p.csc.val[q] = v
@@ -310,6 +329,13 @@ type Basis struct {
 	// ColStat holds one vstat per column: structural columns first, then
 	// one slack per row, then one artificial per row.
 	ColStat []int8
+	// Fact, when non-nil, carries the persistent factorization the basis was
+	// snapshotted with. It is an in-memory handle tied to the identity of the
+	// Problem it was built from (never serialized): a warm-start install
+	// adopts it instead of refactorizing when it is still valid — see
+	// Factorization for the invalidation contract. A nil Fact simply
+	// refactorizes at install, so hand-built bases keep working.
+	Fact *Factorization
 }
 
 // Column status values in Basis.ColStat.
@@ -336,6 +362,28 @@ func (b *Basis) compatible(p *Problem) bool {
 	return basic == len(p.rows)
 }
 
+// SolveStats counts the factorization-level events of a solve, surfaced so
+// the re-optimization loop can see where warm starts spend their time. All
+// counters are totals across the recovery ladder (warm attempt + any cold
+// fallback).
+type SolveStats struct {
+	// Refactorizations counts from-scratch basis factorizations.
+	Refactorizations int
+	// FTUpdates counts warm-start installs that adopted a carried
+	// factorization (product-form resume) instead of refactorizing.
+	FTUpdates int
+	// DevexResets counts devex reference-framework resets (one per
+	// refactorization under devex pricing).
+	DevexResets int
+}
+
+// Add accumulates o into s.
+func (s *SolveStats) Add(o SolveStats) {
+	s.Refactorizations += o.Refactorizations
+	s.FTUpdates += o.FTUpdates
+	s.DevexResets += o.DevexResets
+}
+
 // Solution is the result of Solve.
 type Solution struct {
 	Status     Status
@@ -346,15 +394,24 @@ type Solution struct {
 	// dense reference solver). Feed it to Options.WarmStart to accelerate
 	// a re-solve of a same-shaped problem.
 	Basis *Basis
+	// Stats counts factorization events (sparse solver only).
+	Stats SolveStats
 }
 
 // Pricing selects the entering-variable rule of the sparse solver.
 type Pricing int
 
 const (
+	// DevexPricing (the default) prices with approximate steepest-edge
+	// reference weights (Harris's devex): each nonbasic column scores
+	// d_j²/w_j, weights update after every pivot from the pivot row, and the
+	// reference framework resets at each refactorization. Typically several-
+	// fold fewer pivots than Dantzig on larger LPs for one extra BTRAN per
+	// pivot.
+	DevexPricing Pricing = iota
 	// DantzigPricing scans every nonbasic column and enters the one with
-	// the most negative reduced cost (default; deterministic).
-	DantzigPricing Pricing = iota
+	// the most negative reduced cost (deterministic textbook rule).
+	DantzigPricing
 	// PartialPricing scans rotating blocks of columns and enters the best
 	// candidate of the first block containing one, trading iteration count
 	// for much cheaper pricing on very wide problems.
@@ -378,11 +435,16 @@ type Options struct {
 	// feasible, cold start otherwise.
 	WarmStart *Basis
 	// RefactorEvery rebuilds the product-form basis inverse after this
-	// many pivots (default 64 + rows/8). Lower values trade time for
+	// many pivots (default 16 + 2*sqrt(rows)). Lower values trade time for
 	// numerical robustness.
 	RefactorEvery int
-	// Pricing selects the entering rule (default DantzigPricing).
+	// Pricing selects the entering rule (default DevexPricing).
 	Pricing Pricing
+	// RefactorOnInstall forces every warm-start install to refactorize from
+	// scratch instead of adopting a carried Basis.Fact — the pre-persistence
+	// behavior, kept as an escape hatch and as the reference arm of the
+	// persistence equivalence tests.
+	RefactorOnInstall bool
 }
 
 // numerical tolerances

@@ -113,6 +113,17 @@ func (e *etaFile) reset() {
 
 func (e *etaFile) count() int { return len(e.prow) }
 
+// copyFrom makes e an independent copy of src (reusing e's arenas when they
+// are large enough). Adopting a carried Factorization copies its files so
+// the handle can seed any number of later warm starts untouched.
+func (e *etaFile) copyFrom(src *etaFile) {
+	e.prow = append(e.prow[:0], src.prow...)
+	e.pval = append(e.pval[:0], src.pval...)
+	e.start = append(e.start[:0], src.start...)
+	e.idx = append(e.idx[:0], src.idx...)
+	e.val = append(e.val[:0], src.val...)
+}
+
 // etaDrop is the absolute magnitude below which off-pivot eta entries are
 // discarded. Kept far below the solver tolerances; the periodic
 // refactorization and the final feasibility audit bound its effect.
@@ -246,7 +257,9 @@ type sparse struct {
 	iters      int
 	maxIters   int
 	bland      bool
-	priceStart int // rotating offset for partial pricing
+	priceStart int       // rotating offset for partial pricing
+	devexW     []float64 // devex reference weights, nil unless DevexPricing
+	stats      SolveStats
 
 	// scratch, sized m
 	colBuf []float64
@@ -319,7 +332,28 @@ func newSparse(p *Problem, opts Options) *sparse {
 		// grows with √m.
 		s.refactorEvery = 16 + 2*int(math.Sqrt(float64(m)))
 	}
+	if opts.Pricing == DevexPricing {
+		s.devexW = make([]float64, s.ncols)
+		for j := range s.devexW {
+			s.devexW[j] = 1
+		}
+	}
 	return s
+}
+
+// resetDevex restores the unit reference framework: every column's weight
+// becomes 1, declaring the CURRENT nonbasic set the reference frame the
+// weights approximate steepest-edge norms against. Called after every
+// refactorization — the weights are only meaningful relative to a basis
+// trajectory, and a rebuilt factorization starts a new one.
+func (s *sparse) resetDevex() {
+	if s.devexW == nil {
+		return
+	}
+	for j := range s.devexW {
+		s.devexW[j] = 1
+	}
+	s.stats.DevexResets++
 }
 
 // setPhase installs the phase-dependent per-column bounds and costs:
@@ -626,6 +660,8 @@ func (s *sparse) refactor() bool {
 	s.refLoRows, s.refUpRows = loRows, upRows
 	s.refLoVals, s.refUpVals = loVals, upVals
 	s.computeBeta()
+	s.stats.Refactorizations++
+	s.resetDevex()
 	return true
 }
 
@@ -689,6 +725,9 @@ func (s *sparse) chooseEntering(y []float64) (int, float64) {
 		}
 		return -1, 0
 	}
+	if s.devexW != nil {
+		return s.chooseDevex(y)
+	}
 	if s.opts.Pricing == PartialPricing {
 		return s.choosePartial(y)
 	}
@@ -729,6 +768,99 @@ func (s *sparse) chooseEntering(y []float64) (int, float64) {
 		}
 	}
 	return bestJ, bestDir
+}
+
+// chooseDevex prices with devex reference weights: among columns whose
+// reduced cost violates optimality by more than tolCost, enter the one
+// maximizing d_j²/w_j, where w_j approximates the steepest-edge norm of the
+// column relative to the reference framework of the last reset. Dantzig's
+// most-negative-d rule ignores how far a unit step along the column actually
+// moves the solution, which costs it several-fold more pivots on larger
+// LPs; dividing by the reference weight restores that scale at one extra
+// BTRAN per pivot (devexUpdate).
+func (s *sparse) chooseDevex(y []float64) (int, float64) {
+	w := s.devexW
+	bestJ, bestDir, bestScore := -1, 0.0, 0.0
+	for j := 0; j < s.n; j++ {
+		st := s.stat[j]
+		if st == basic || s.chi[j] <= s.clo[j] {
+			continue
+		}
+		c := s.ccost[j]
+		for q := s.csc.colPtr[j]; q < s.csc.colPtr[j+1]; q++ {
+			c -= y[s.csc.rowIdx[q]] * s.csc.val[q]
+		}
+		if st == atLower {
+			if -c > tolCost {
+				if sc := c * c / w[j]; sc > bestScore {
+					bestJ, bestDir, bestScore = j, 1, sc
+				}
+			}
+		} else if c > tolCost {
+			if sc := c * c / w[j]; sc > bestScore {
+				bestJ, bestDir, bestScore = j, -1, sc
+			}
+		}
+	}
+	for r := 0; r < s.m; r++ {
+		j := s.n + r
+		st := s.stat[j]
+		if st == basic || s.chi[j] <= 0 {
+			continue
+		}
+		c := -y[r] * s.slackSign[r] // slack cost is 0 in both phases
+		if st == atLower {
+			if -c > tolCost {
+				if sc := c * c / w[j]; sc > bestScore {
+					bestJ, bestDir, bestScore = j, 1, sc
+				}
+			}
+		} else if c > tolCost {
+			if sc := c * c / w[j]; sc > bestScore {
+				bestJ, bestDir, bestScore = j, -1, sc
+			}
+		}
+	}
+	return bestJ, bestDir
+}
+
+// devexUpdate refreshes the reference weights after choosing the pivot
+// (entering column `enter`, leaving row r, pivot element alphaQ = d[r]),
+// before the basis change: w_j ← max(w_j, (α_j/α_q)²·w_q) for every
+// nonbasic column, and the leaving variable re-enters the nonbasic set with
+// w ← max(w_q/α_q², 1). α_j is the pivot-row entry of column j, computed
+// from one BTRAN of e_r against the pre-pivot factorization. Artificials
+// are skipped: they never re-enter, so their weights are never read.
+func (s *sparse) devexUpdate(enter, r int, alphaQ float64) {
+	w := s.devexW
+	wq := w[enter]
+	if wq < 1 {
+		wq = 1
+	}
+	ratio := wq / (alphaQ * alphaQ)
+	rho := s.yBuf // y is dead after chooseEntering; safe to overwrite
+	for i := range rho {
+		rho[i] = 0
+	}
+	rho[r] = 1
+	s.btran(rho)
+	for j := 0; j < s.n+s.m; j++ {
+		if s.stat[j] == basic || j == enter {
+			continue
+		}
+		alpha := s.rowDot(j, rho)
+		if alpha == 0 {
+			continue
+		}
+		if nw := alpha * alpha * ratio; nw > w[j] {
+			w[j] = nw
+		}
+	}
+	lw := ratio
+	if lw < 1 {
+		lw = 1
+	}
+	w[s.basis[r]] = lw
 }
 
 // choosePartial scans rotating blocks of columns and returns the best
@@ -857,6 +989,9 @@ func (s *sparse) ratioTestAndPivot(j int, dir float64, d []float64) Status {
 			s.stat[j] = atLower
 		}
 		return 0
+	}
+	if s.devexW != nil {
+		s.devexUpdate(j, leaveRow, d[leaveRow])
 	}
 	leaving := s.basis[leaveRow]
 	if leaveToUpper {
@@ -1039,6 +1174,9 @@ func (s *sparse) installWarm(b *Basis) bool {
 	}
 	if k != s.m {
 		return false
+	}
+	if !s.opts.RefactorOnInstall && s.adoptFactorization(b.Fact) {
+		return true
 	}
 	return s.refactor()
 }
@@ -1251,6 +1389,7 @@ func (s *sparse) snapshotBasis() *Basis {
 			b.ColStat[j] = BasisAtLower
 		}
 	}
+	b.Fact = s.snapshotFactorization()
 	return b
 }
 
@@ -1260,8 +1399,9 @@ func (s *sparse) snapshotBasis() *Basis {
 // is audited against the original rows before being returned.
 func (p *Problem) solveSparse(opts Options) (*Solution, error) {
 	totalIters := 0
+	var totalStats SolveStats
 	finish := func(s *sparse, st Status) *Solution {
-		sol := &Solution{Status: st, Iterations: totalIters}
+		sol := &Solution{Status: st, Iterations: totalIters, Stats: totalStats}
 		if st == Optimal || st == IterLimit {
 			sol.X = s.extract()
 			sol.Objective = p.objectiveOf(sol.X)
@@ -1276,6 +1416,7 @@ func (p *Problem) solveSparse(opts Options) (*Solution, error) {
 		s := newSparse(p, opts)
 		st, ok := s.runWarm(opts.WarmStart)
 		totalIters += s.iters
+		totalStats.Add(s.stats)
 		if ok && st == Optimal {
 			if x := s.extract(); p.CheckFeasible(x, 1e-6) == nil {
 				return finish(s, st), nil
@@ -1289,6 +1430,7 @@ func (p *Problem) solveSparse(opts Options) (*Solution, error) {
 	s := newSparse(p, opts)
 	st := s.runCold()
 	totalIters += s.iters
+	totalStats.Add(s.stats)
 	if st == Optimal {
 		if x := s.extract(); p.CheckFeasible(x, 1e-6) != nil {
 			// Numerical drift: once more with an eagerly refactorized
@@ -1298,6 +1440,7 @@ func (p *Problem) solveSparse(opts Options) (*Solution, error) {
 			s2 := newSparse(p, tight)
 			st2 := s2.runCold()
 			totalIters += s2.iters
+			totalStats.Add(s2.stats)
 			if st2 == Optimal {
 				if x2 := s2.extract(); p.CheckFeasible(x2, 1e-6) == nil {
 					return finish(s2, st2), nil

@@ -66,6 +66,15 @@ type Options struct {
 	// (the live engine's workload). Off by default: static solves skip the
 	// dead rows.
 	FixedShape bool
+	// Pricing selects the simplex entering rule (default lp.DevexPricing);
+	// RefactorEvery overrides the refactorization cadence (0 = solver
+	// default); RefactorOnInstall forces warm starts to refactorize instead
+	// of adopting a persisted factorization. All three pass straight through
+	// to lp.Options — they tune the solver, not the model, so sameModelOpts
+	// ignores them.
+	Pricing           lp.Pricing
+	RefactorEvery     int
+	RefactorOnInstall bool
 }
 
 // DefaultOptions enables every feature present in the instance.
@@ -303,6 +312,9 @@ type FracSolution struct {
 	// Basis is the final simplex basis; feed it to Options.WarmStart to
 	// accelerate a re-solve of a same-shaped model.
 	Basis *lp.Basis
+	// Stats counts solver factorization events (refactorizations, adopted
+	// factorizations, devex resets) for the epoch telemetry.
+	Stats lp.SolveStats
 }
 
 // Unpack converts a flat LP vector into a FracSolution.
@@ -335,7 +347,13 @@ func Unpack(in *netmodel.Instance, m *VarMap, x []float64, obj float64, iters in
 // need the Problem itself — for row/variable counts or bound mutation —
 // build once and solve here; SolveLP wraps the common build-and-solve.
 func SolveBuilt(in *netmodel.Instance, p *lp.Problem, m *VarMap, warm *lp.Basis) (*FracSolution, error) {
-	sol, err := p.SolveOpts(lp.Options{WarmStart: warm})
+	return SolveBuiltOpts(in, p, m, lp.Options{WarmStart: warm})
+}
+
+// SolveBuiltOpts is SolveBuilt with explicit solver options (pricing rule,
+// refactorization cadence, warm start).
+func SolveBuiltOpts(in *netmodel.Instance, p *lp.Problem, m *VarMap, sopts lp.Options) (*FracSolution, error) {
+	sol, err := p.SolveOpts(sopts)
 	if err != nil {
 		return nil, err
 	}
@@ -348,13 +366,24 @@ func SolveBuilt(in *netmodel.Instance, p *lp.Problem, m *VarMap, warm *lp.Basis)
 	}
 	fs := Unpack(in, m, sol.X, sol.Objective, sol.Iterations)
 	fs.Basis = sol.Basis
+	fs.Stats = sol.Stats
 	return fs, nil
+}
+
+// SolverOptions translates the solver-tuning subset of opts into lp.Options.
+func (o Options) SolverOptions() lp.Options {
+	return lp.Options{
+		WarmStart:         o.WarmStart,
+		Pricing:           o.Pricing,
+		RefactorEvery:     o.RefactorEvery,
+		RefactorOnInstall: o.RefactorOnInstall,
+	}
 }
 
 // SolveLP builds and exactly solves the LP relaxation.
 func SolveLP(in *netmodel.Instance, opts Options) (*FracSolution, error) {
 	p, m := Build(in, opts)
-	return SolveBuilt(in, p, m, opts.WarmStart)
+	return SolveBuiltOpts(in, p, m, opts.SolverOptions())
 }
 
 // Cost evaluates the §2 objective for a structured fractional solution.

@@ -101,6 +101,14 @@ type State struct {
 	Alloc    [][]float64
 	Bases    []*lp.Basis
 	Patchers []*lpmodel.Patcher
+	// Subs caches each shard's extracted sub-instance. Under the delta flow
+	// (BindSubs given routed dirty sets) the next epoch patches the cached
+	// sub in place — re-pointing the matrices shared with the parent and
+	// rewriting only the sink-indexed cells the dirty set names — instead of
+	// re-extracting, and a shard whose routed dirty set is empty skips
+	// extraction entirely. Invalidated with the rest of the state on any
+	// partition or shape change.
+	Subs []*netmodel.Instance
 }
 
 // compatible reports whether the state can seed a solve of in with k shards.
@@ -134,6 +142,9 @@ type SolveResult struct {
 	Retries     int
 	Vars, Rows  int
 	Basis       *lp.Basis
+	// LPStats counts the shard solve's factorization events
+	// (refactorizations, adopted factorizations, devex resets).
+	LPStats lp.SolveStats
 	// Patch reports what the shard's incremental LP rebuild did (nil when
 	// the shard solved without a Patcher).
 	Patch *lpmodel.PatchStats
@@ -163,14 +174,18 @@ type Plan struct {
 
 	results      []*SolveResult // latest per-shard results (nil = starved)
 	starved      []bool
-	starveRounds []int       // consecutive rounds a shard has stayed starved
-	settled      []bool      // shard re-solved with more capacity and didn't improve
-	pivots       []int       // cumulative simplex iterations per shard, all rounds
-	warmBases    []*lp.Basis // per-shard bases from a previous epoch's State
-	patched      []int       // cumulative LP cells patched per shard, all rounds
-	rebuilds     []int       // full LP builds per shard, all rounds
-	buildNS      []int64     // lp-build wall per shard, all rounds
-	patchNS      []int64     // lp-patch wall per shard, all rounds
+	starveRounds []int           // consecutive rounds a shard has stayed starved
+	settled      []bool          // shard re-solved with more capacity and didn't improve
+	pivots       []int           // cumulative simplex iterations per shard, all rounds
+	warmBases    []*lp.Basis     // per-shard bases from a previous epoch's State
+	patched      []int           // cumulative LP cells patched per shard, all rounds
+	rebuilds     []int           // full LP builds per shard, all rounds
+	buildNS      []int64         // lp-build wall per shard, all rounds
+	patchNS      []int64         // lp-patch wall per shard, all rounds
+	lpStats      []lp.SolveStats // per-shard solver factorization events, all rounds
+
+	cachedSubs []*netmodel.Instance // previous epoch's sub-instances (nil = none)
+	skips      int                  // shards whose extraction BindSubs skipped
 
 	// Patchers holds one incremental-rebuild state per shard, reused from a
 	// compatible previous-epoch State and carried forward in the Outcome's
@@ -317,6 +332,9 @@ func Prepare(in *netmodel.Instance, opts Options, state *State) (*Plan, error) {
 		if len(state.Patchers) == len(state.Sinks) {
 			p.Patchers = state.Patchers
 		}
+		if len(state.Subs) == len(state.Sinks) {
+			p.cachedSubs = state.Subs
+		}
 	} else {
 		state = nil
 		p.Sinks = PartitionSinks(in, opts.Shards)
@@ -332,9 +350,6 @@ func Prepare(in *netmodel.Instance, opts Options, state *State) (*Plan, error) {
 		p.Alloc = allocFromAffinity(p.aff, in.Fanout)
 	}
 	p.Subs = make([]*netmodel.Instance, k)
-	for s := 0; s < k; s++ {
-		p.Subs[s] = extract(in, p.Sinks[s], p.Alloc[s], s)
-	}
 	p.results = make([]*SolveResult, k)
 	p.starved = make([]bool, k)
 	p.starveRounds = make([]int, k)
@@ -344,7 +359,38 @@ func Prepare(in *netmodel.Instance, opts Options, state *State) (*Plan, error) {
 	p.rebuilds = make([]int, k)
 	p.buildNS = make([]int64, k)
 	p.patchNS = make([]int64, k)
+	p.lpStats = make([]lp.SolveStats, k)
 	return p, nil
+}
+
+// BindSubs fills the plan's sub-instances, the second phase of preparation
+// (Prepare must run first so the caller can route the epoch's dirty set
+// through the partition before binding). dirty carries one routed set per
+// shard under the delta-flow contract — every parent change affecting shard
+// s is listed in dirty[s], so a cached sub-instance can be patched in place:
+// matrices shared with the parent are re-pointed (the parent pointer changes
+// every epoch under stickiness cloning), the capacity allocation is
+// re-copied, and only the sink-indexed cells the dirty set names are
+// rewritten. A shard with dirty[s] == nil reuses its cache untouched beyond
+// the re-point — the zero-copy path — and counts as a skipped extraction.
+// A nil dirty slice means no delta information: every shard extracts fresh
+// (the cache is unusable without the contract). Callers that never call
+// BindSubs get the fresh-extraction behavior lazily from SolveAll.
+func (p *Plan) BindSubs(dirty []*netmodel.DirtySet) {
+	for s := range p.Subs {
+		if dirty != nil && p.cachedSubs != nil && p.cachedSubs[s] != nil {
+			p.Subs[s] = p.cachedSubs[s]
+			rebind(p.Subs[s], p.In, p.Sinks[s], p.Alloc[s], dirty[s])
+			p.skips++
+			continue
+		}
+		p.Subs[s] = extract(p.In, p.Sinks[s], p.Alloc[s], s)
+	}
+}
+
+// bound reports whether BindSubs has run.
+func (p *Plan) bound() bool {
+	return len(p.Subs) == 0 || p.Subs[0] != nil
 }
 
 // computeAffinity fills p.aff: shard s's bandwidth-weighted count of active
@@ -493,6 +539,38 @@ func extract(in *netmodel.Instance, sinks []int, alloc []float64, s int) *netmod
 	return sub
 }
 
+// rebind refreshes a cached sub-instance against the current parent without
+// re-extracting. Matrices extract shares with the parent are re-pointed at
+// the current parent (under stickiness the parent is a fresh clone every
+// epoch), the Fanout vector is re-copied from the shard's current
+// allocation, and the sink-indexed copies are patched cell by cell from the
+// routed dirty set (local sink ids; sinks maps them back to the parent's).
+// Fields with no churn surface — Commodity, EdgeCap, SinkOf, the dims — are
+// trusted from the cache: the partition is stable and a shape change
+// invalidates the whole State before reaching here.
+func rebind(sub, in *netmodel.Instance, sinks []int, alloc []float64, d *netmodel.DirtySet) {
+	sub.ReflectorCost = in.ReflectorCost
+	sub.SrcRefLoss = in.SrcRefLoss
+	sub.SrcRefCost = in.SrcRefCost
+	sub.Bandwidth = in.Bandwidth
+	sub.Color = in.Color
+	sub.NumColors = in.NumColors
+	sub.IngestCap = in.IngestCap
+	sub.Fanout = append([]float64(nil), alloc...)
+	if d == nil {
+		return
+	}
+	for _, c := range d.SinkDemand {
+		sub.Threshold[c] = in.Threshold[sinks[c]]
+	}
+	for _, a := range d.RefSinkCost {
+		sub.RefSinkCost[a.A][a.B] = in.RefSinkCost[a.A][sinks[a.B]]
+	}
+	for _, a := range d.RefSinkLoss {
+		sub.RefSinkLoss[a.A][a.B] = in.RefSinkLoss[a.A][sinks[a.B]]
+	}
+}
+
 func subCols(m [][]float64, cols []int) [][]float64 {
 	out := make([][]float64, len(m))
 	backing := make([]float64, len(m)*len(cols))
@@ -527,6 +605,9 @@ func subFloats(v []float64, idx []int) []float64 {
 // concurrently under the plan's worker bound. LP-infeasible shards are
 // recorded as starved for the coordinator; any other error aborts.
 func (p *Plan) SolveAll(solve SolveFunc) error {
+	if !p.bound() {
+		p.BindSubs(nil)
+	}
 	return p.solveShards(allShards(p.Shards()), solve)
 }
 
@@ -557,6 +638,7 @@ func (p *Plan) solveShards(idx []int, solve SolveFunc) error {
 			p.results[s] = res
 			p.starved[s] = false
 			p.pivots[s] += res.Pivots
+			p.lpStats[s].Add(res.LPStats)
 			if res.Patch != nil {
 				p.patched[s] += res.Patch.Patches()
 				if res.Patch.Rebuilt {
@@ -622,6 +704,13 @@ type Outcome struct {
 	// LPBuildNS / LPPatchNS sum the per-shard lp-build / lp-patch stage
 	// walls (CPU-style totals across concurrent shards, not elapsed wall).
 	LPBuildNS, LPPatchNS int64
+	// ExtractionsSkipped counts shards whose sub-instance came from the
+	// cache (patched or reused in place) instead of a fresh extraction.
+	ExtractionsSkipped int
+	// LPStats totals solver factorization events across shards and rounds;
+	// PerShardStats breaks them down by shard.
+	LPStats       lp.SolveStats
+	PerShardStats []lp.SolveStats
 	// State seeds the next same-shaped solve.
 	State *State
 }
@@ -693,7 +782,7 @@ func (p *Plan) Coordinate(solve SolveFunc) (*Outcome, error) {
 	design := p.Merge()
 	out.ConsolidatedBuilds = Consolidate(in, design)
 	out.Design = design
-	st := &State{Sinks: p.Sinks, Alloc: p.Alloc, Bases: make([]*lp.Basis, k), Patchers: p.Patchers}
+	st := &State{Sinks: p.Sinks, Alloc: p.Alloc, Bases: make([]*lp.Basis, k), Patchers: p.Patchers, Subs: p.Subs}
 	st.S, st.R, st.D = in.Dims()
 	for s, r := range p.results {
 		out.LPCost += r.LPCost
@@ -712,6 +801,11 @@ func (p *Plan) Coordinate(solve SolveFunc) (*Outcome, error) {
 	for s := range p.buildNS {
 		out.LPBuildNS += p.buildNS[s]
 		out.LPPatchNS += p.patchNS[s]
+	}
+	out.ExtractionsSkipped = p.skips
+	out.PerShardStats = append([]lp.SolveStats(nil), p.lpStats...)
+	for _, st := range out.PerShardStats {
+		out.LPStats.Add(st)
 	}
 	out.State = st
 	return out, nil

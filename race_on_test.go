@@ -1,0 +1,8 @@
+//go:build race
+
+package overlay
+
+// raceEnabled reports whether the race detector instruments this test
+// binary. Wall-clock assertions are skipped under it: instrumentation
+// inflates and reorders timings enough to invert real speedups.
+const raceEnabled = true
