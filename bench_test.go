@@ -7,6 +7,7 @@
 package overlay
 
 import (
+	"io"
 	"testing"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 	"repro/internal/live"
 	"repro/internal/lp"
 	"repro/internal/lpmodel"
+	"repro/internal/obs"
 	"repro/internal/round"
 	"repro/internal/sim"
 )
@@ -184,6 +186,124 @@ func TestPersistentSolverAcceptance(t *testing.T) {
 	}
 	if sh.TotalExtractionsSkipped == 0 {
 		t.Fatal("sharded timeline never reused a cached sub-instance")
+	}
+}
+
+// TestObservabilityOverheadAcceptance is the PR 7 acceptance gate: running
+// a 20-epoch flash-crowd timeline with the full observability tap on —
+// canonical metrics registry plus JSONL tracer — must cost less than 3% of
+// epoch wall versus the uninstrumented run. Arms are interleaved 7x and
+// each epoch's wall is taken as the minimum across runs before summing, so
+// a single GC pause or scheduler preemption in one run cannot poison the
+// comparison. Under the race detector the assertion is informational only
+// (instrumented atomics distort the ratio).
+func TestObservabilityOverheadAcceptance(t *testing.T) {
+	const runs = 7
+	sc := live.FlashCrowd(1, 20)
+	runOnce := func(o *obs.Observer) []int64 {
+		t.Helper()
+		cfg := live.Config{Policy: live.WarmStickyPolicy(), Obs: o}
+		rep, err := live.Run(sc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		walls := make([]int64, len(rep.Epochs))
+		for i, er := range rep.Epochs {
+			walls[i] = er.WallNS
+		}
+		return walls
+	}
+	mkObs := func() *obs.Observer {
+		reg := obs.NewRegistry()
+		obs.Canonical(reg)
+		return &obs.Observer{Reg: reg, Tr: obs.NewTracer(io.Discard)}
+	}
+	perEpochMin := func(all [][]int64) int64 {
+		total := int64(0)
+		for e := range all[0] {
+			best := all[0][e]
+			for _, walls := range all[1:] {
+				if walls[e] < best {
+					best = walls[e]
+				}
+			}
+			total += best
+		}
+		return total
+	}
+	var off, on [][]int64
+	for i := 0; i < runs; i++ {
+		off = append(off, runOnce(nil))
+		on = append(on, runOnce(mkObs()))
+	}
+	offNS, onNS := perEpochMin(off), perEpochMin(on)
+	ratio := float64(onNS) / float64(offNS)
+	t.Logf("20-epoch flash crowd, per-epoch-min wall over %d runs: obs off %v, obs on %v (%.2f%% overhead)",
+		runs, time.Duration(offNS), time.Duration(onNS), 100*(ratio-1))
+	if ratio > 1.03 && !raceEnabled {
+		t.Fatalf("observability overhead %.1f%% exceeds the 3%% budget (off %v, on %v)",
+			100*(ratio-1), time.Duration(offNS), time.Duration(onNS))
+	}
+}
+
+// --- micro-benchmarks of the observability hot paths ---
+
+// BenchmarkObsCounterAdd measures the metrics hot path: one atomic
+// float-CAS add on a pre-resolved counter handle.
+func BenchmarkObsCounterAdd(b *testing.B) {
+	c := obs.NewRegistry().Counter("bench_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkObsHistogramObserve measures one histogram observation
+// (binary-search bucket + two atomics) on a pre-resolved handle.
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	h := obs.NewRegistry().Histogram("bench_seconds", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 1e-6)
+	}
+}
+
+// BenchmarkObsLabeledResolve measures the cold path the stage tracker
+// takes: resolving a labeled instance through the registry each call.
+func BenchmarkObsLabeledResolve(b *testing.B) {
+	reg := obs.NewRegistry()
+	obs.Canonical(reg)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		reg.Counter(obs.MStageRuns, obs.L("stage", "lp-solve")).Inc()
+	}
+}
+
+// BenchmarkObsSpanStartEnd measures one traced span round trip: start,
+// end, append-encode, write (the tracer's whole per-span cost).
+func BenchmarkObsSpanStartEnd(b *testing.B) {
+	tr := obs.NewTracer(io.Discard)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start(nil, "lp-solve", obs.A("shard", 3))
+		sp.End()
+	}
+}
+
+// BenchmarkLiveTimelineWarmObserved is BenchmarkLiveTimelineWarm with the
+// full observability tap on — the ratio against the plain benchmark is the
+// end-to-end overhead the acceptance test bounds.
+func BenchmarkLiveTimelineWarmObserved(b *testing.B) {
+	sc := live.FlashCrowd(1, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg := obs.NewRegistry()
+		obs.Canonical(reg)
+		cfg := live.Config{Policy: live.WarmStickyPolicy(),
+			Obs: &obs.Observer{Reg: reg, Tr: obs.NewTracer(io.Discard)}}
+		if _, err := live.Run(sc, cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

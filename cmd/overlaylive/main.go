@@ -19,25 +19,42 @@
 //	overlaylive -replay trace.json -policy warm          # replay a saved trace
 //	overlaylive -scenario diurnal -incremental=false     # full lp-build every epoch
 //	overlaylive -scenario flashcrowd -pricing dantzig    # solver pricing-rule override
+//	overlaylive -scenario flashcrowd -listen :8080       # live telemetry endpoint
+//	overlaylive -scenario diurnal -trace run.jsonl -flame # hierarchical solve trace
 //
 // Each epoch's LP is normally patched in place from the epoch's deltas (the
 // lp-patch stage; -incremental=false restores the per-epoch rebuild
 // baseline), and a sliding-window availability SLO is tracked next to the
 // audit (-slowindow/-slotarget).
 //
-// Everything is deterministic in -seed except wall-clock fields.
+// -listen starts the internal/obs debug server for the duration of the run:
+// /metrics (Prometheus text), /healthz (liveness + run progress), /slo
+// (windowed availability with per-region breakdowns), /debug/vars and
+// /debug/pprof. Pair it with -pace to keep a short timeline scrapeable and
+// -hold to keep serving after the timeline finishes. -trace writes the
+// hierarchical solve trace (epoch → stage → shard → simplex events) as
+// JSONL; -flame prints an aggregated flame summary of that trace.
+//
+// Everything is deterministic in -seed except wall-clock fields; the
+// observability flags never change the solve (metrics and traces are
+// read-only taps).
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/live"
 	"repro/internal/lp"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -73,6 +90,11 @@ func main() {
 		sloTarget  = flag.Float64("slotarget", 0.5, "fraction of active sinks that must meet their threshold for an epoch to count as available (raise toward 1 with -repair-style solvers)")
 		pricing    = flag.String("pricing", "devex", "simplex pricing rule: devex|dantzig|partial")
 		refEv      = flag.Int("refactor-every", 0, "basis refactorization cadence in pivots (0 = auto: 16+2√rows)")
+		listen     = flag.String("listen", "", "serve live telemetry on this address during the run: /metrics, /healthz, /slo, /debug/vars, /debug/pprof")
+		tracePath  = flag.String("trace", "", "write the hierarchical solve trace (epoch → stage → shard → simplex events) as JSONL to this file")
+		flame      = flag.Bool("flame", false, "print an aggregated flame summary of the solve trace after the run (implies tracing)")
+		pace       = flag.Duration("pace", 0, "sleep this long after every epoch — keeps a short -listen run scrapeable mid-flight")
+		hold       = flag.Duration("hold", 0, "keep the -listen server up this long after the timeline finishes")
 	)
 	flag.Parse()
 	pr, err := parsePricing(*pricing)
@@ -129,10 +151,115 @@ func main() {
 	cfg.Solver.Shards = *shards
 	cfg.Solver.Pricing = pr
 	cfg.Solver.RefactorEvery = *refEv
+
+	// Observability surfaces. The registry backs -listen's /metrics; the
+	// tracer backs -trace/-flame. Both are nil (and the run byte-identical
+	// to an uninstrumented one) unless asked for.
+	var (
+		reg       *obs.Registry
+		server    *obs.Server
+		tracer    *obs.Tracer
+		traceFile *os.File
+		flameBuf  *bytes.Buffer
+	)
+	if *listen != "" {
+		reg = obs.NewRegistry()
+		obs.Canonical(reg)
+		server = obs.NewServer(reg)
+		ln, lerr := net.Listen("tcp", *listen)
+		if lerr != nil {
+			fatal(lerr)
+		}
+		go func() {
+			if serr := http.Serve(ln, server.Handler()); serr != nil {
+				fmt.Fprintf(os.Stderr, "overlaylive: telemetry server: %v\n", serr)
+			}
+		}()
+		fmt.Printf("telemetry on http://%s (/metrics /healthz /slo /debug/pprof)\n", ln.Addr())
+	}
+	var traceW io.Writer
+	if *tracePath != "" {
+		f, ferr := os.Create(*tracePath)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		traceFile = f
+		traceW = f
+	}
+	if *flame {
+		flameBuf = &bytes.Buffer{}
+		if traceW != nil {
+			traceW = io.MultiWriter(traceFile, flameBuf)
+		} else {
+			traceW = flameBuf
+		}
+	}
+	if traceW != nil {
+		tracer = obs.NewTracer(traceW)
+	}
+	if reg != nil || tracer != nil {
+		cfg.Obs = &obs.Observer{Reg: reg, Tr: tracer}
+	}
+
 	start := time.Now()
-	reps, err := live.ComparePolicies(sc, policies, cfg)
-	if err != nil {
-		fatal(err)
+	// Run each policy with its own telemetry hook (live.ComparePolicies
+	// inlined, so /healthz and /slo can name the policy currently running).
+	reps := make([]*live.RunReport, 0, len(policies))
+	for _, p := range policies {
+		c := cfg
+		c.Policy = p
+		pname := p.Name
+		breaches, minWin := 0, 1.0
+		c.OnEpoch = func(er live.EpochReport) {
+			if !er.SLOOk {
+				breaches++
+			}
+			if er.SLOWindowFrac < minWin {
+				minWin = er.SLOWindowFrac
+			}
+			if server != nil {
+				server.SetHealth(obs.HealthStatus{
+					OK: er.AuditOK, Running: true,
+					Scenario: sc.Name, Policy: pname,
+					Epoch: er.Epoch, Epochs: sc.Epochs,
+					AuditOK: er.AuditOK, SLOOk: er.SLOOk,
+				})
+				regions := make([]obs.RegionSLO, 0, len(er.Regions))
+				for _, ra := range er.Regions {
+					regions = append(regions, obs.RegionSLO{
+						Region: ra.Region, Active: ra.Active, Met: ra.Met,
+						Frac: ra.Frac, WindowFrac: ra.WindowFrac,
+					})
+				}
+				server.SetSLO(obs.SLOStatus{
+					Window: *sloWindow, Target: *sloTarget,
+					Ok: er.SLOOk, WindowFrac: er.SLOWindowFrac,
+					Breaches: breaches, MinWindowFrac: minWin,
+					Regions: regions,
+				})
+			}
+			if *pace > 0 {
+				time.Sleep(*pace)
+			}
+		}
+		rep, rerr := live.Run(sc, c)
+		if rerr != nil {
+			fatal(fmt.Errorf("policy %q: %w", pname, rerr))
+		}
+		reps = append(reps, rep)
+	}
+	if server != nil {
+		allOK := true
+		for _, rep := range reps {
+			allOK = allOK && rep.AllAuditOK
+		}
+		last := reps[len(reps)-1]
+		server.SetHealth(obs.HealthStatus{
+			OK: allOK, Running: false,
+			Scenario: sc.Name, Policy: last.Policy.Name,
+			Epoch: sc.Epochs - 1, Epochs: sc.Epochs,
+			AuditOK: last.AllAuditOK, SLOOk: last.SLOBreaches == 0,
+		})
 	}
 
 	for _, rep := range reps {
@@ -160,6 +287,29 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote live report to %s\n", *jsonPath)
+	}
+
+	if tracer != nil {
+		if err := tracer.Err(); err != nil {
+			fatal(fmt.Errorf("trace: %w", err))
+		}
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote solve trace to %s\n", *tracePath)
+	}
+	if *flame {
+		recs, rerr := obs.ReadTrace(bytes.NewReader(flameBuf.Bytes()))
+		if rerr != nil {
+			fatal(fmt.Errorf("trace: %w", rerr))
+		}
+		fmt.Print(obs.Flame(recs).Render())
+	}
+	if *hold > 0 && server != nil {
+		fmt.Printf("holding telemetry server for %v\n", *hold)
+		time.Sleep(*hold)
 	}
 }
 

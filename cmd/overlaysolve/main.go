@@ -12,7 +12,9 @@
 // -shards ≥ 2 solves one LP per commodity-region shard in parallel with a
 // capacity-coordination pass instead of the monolithic LP — the scaling
 // path for thousands of sinks. -json writes a machine-readable report
-// (per-stage timings, audit, shard counters) next to the human output.
+// (per-stage timings, audit, shard counters) next to the human output;
+// -trace writes the hierarchical solve trace (pipeline stages, per-shard
+// solves, simplex refactorization/adoption/devex events) as JSONL.
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"repro/internal/greedy"
 	"repro/internal/lp"
 	"repro/internal/netmodel"
+	"repro/internal/obs"
 )
 
 // parsePricing maps the -pricing flag to the solver's pricing rules.
@@ -59,6 +62,7 @@ func main() {
 		stages  = flag.Bool("stages", false, "print the per-stage pipeline instrumentation (lp-build/lp-patch/lp-solve/... wall and run counts)")
 		pricing = flag.String("pricing", "devex", "simplex pricing rule: devex|dantzig|partial")
 		refEv   = flag.Int("refactor-every", 0, "basis refactorization cadence in pivots (0 = auto: 16+2√rows)")
+		trace   = flag.String("trace", "", "write the hierarchical solve trace (stages, shards, simplex events) as JSONL to this file")
 	)
 	flag.Parse()
 	pr, err := parsePricing(*pricing)
@@ -73,6 +77,10 @@ func main() {
 	}
 	if *jsonOut != "" && (*useG || *useX || *lpOnly) {
 		fmt.Fprintln(os.Stderr, "overlaysolve: -json requires a full LP-rounding solve (not -greedy/-exact/-lp-only)")
+		os.Exit(2)
+	}
+	if *trace != "" && (*useG || *useX) {
+		fmt.Fprintln(os.Stderr, "overlaysolve: -trace requires the LP pipeline (not -greedy/-exact)")
 		os.Exit(2)
 	}
 	in, err := netmodel.LoadFile(*inPath)
@@ -112,6 +120,19 @@ func main() {
 		opts.Shards = *shards
 		opts.Pricing = pr
 		opts.RefactorEvery = *refEv
+		// A trace-only observer: spans for every pipeline stage, per-shard
+		// solve, and simplex event, with no metrics registry attached.
+		var tracer *obs.Tracer
+		if *trace != "" {
+			tf, terr := os.Create(*trace)
+			if terr != nil {
+				fmt.Fprintf(os.Stderr, "overlaysolve: %v\n", terr)
+				os.Exit(1)
+			}
+			defer tf.Close()
+			tracer = obs.NewTracer(tf)
+			opts.Obs = &obs.Observer{Tr: tracer}
+		}
 		var res *core.Result
 		if *prior != "" {
 			pf, err := os.Open(*prior)
@@ -141,6 +162,13 @@ func main() {
 			}
 		}
 		solveRes = res
+		if tracer != nil {
+			if terr := tracer.Err(); terr != nil {
+				fmt.Fprintf(os.Stderr, "overlaysolve: trace: %v\n", terr)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote solve trace to %s\n", *trace)
+		}
 		if si := res.ShardInfo; si != nil {
 			fmt.Printf("sharded solve: %d shards, %d coordination rounds, %d re-solves, %d builds consolidated\n",
 				si.Shards, si.Rounds, si.Resolves, si.ConsolidatedBuilds)

@@ -22,6 +22,7 @@ import (
 	"repro/internal/lp"
 	"repro/internal/lpmodel"
 	"repro/internal/netmodel"
+	"repro/internal/obs"
 	"repro/internal/round"
 	"repro/internal/shard"
 	"repro/internal/stround"
@@ -90,10 +91,22 @@ type Options struct {
 	// capacity split is rescaled instead of recomputed, and each shard's
 	// simplex starts from its prior basis. Incompatible state is ignored.
 	ShardState *shard.State
-	// StageMemStats additionally records per-stage allocation counters
-	// in Result.Stages. Off by default: the underlying
-	// runtime.ReadMemStats calls briefly stop the world.
+	// StageMemStats additionally records per-stage allocation counters in
+	// Result.Stages, read from the runtime/metrics allocation totals
+	// (obs.ReadAllocs — cheap, no stop-the-world). The counters are
+	// process-global: exact for the common one-solve-at-a-time case,
+	// attribution-approximate when a stage co-runs with other allocating
+	// goroutines (which is why the per-shard solves inside shard-solve keep
+	// it off). Off by default.
 	StageMemStats bool
+	// Obs, when non-nil, receives observability signals from the solve:
+	// per-stage spans and wall/run metrics from the pipeline tracker, LP
+	// factorization events attached to the lp-solve span, per-shard child
+	// spans, and the Result-derived solver counters (pivots,
+	// refactorizations, FT adoptions, devex resets, patch cells, shard
+	// coordination) fed once per top-level Solve. A nil Obs costs one nil
+	// check per site and leaves the solve byte-identical.
+	Obs *obs.Observer
 	// IncrementalLP enables the delta-driven incremental LP rebuild inside
 	// a Session: a persistent lpmodel.Patcher (one per shard when Shards ≥
 	// 2) carries the built lp.Problem across epochs and patches only the
@@ -252,7 +265,16 @@ func solverOptions(opts Options) lp.Options {
 // as lp-build.
 func lpStages(ps *pipelineState) []Stage {
 	solve := Stage{Name: "lp-solve", Run: func(ps *pipelineState) error {
-		frac, err := lpmodel.SolveBuiltOpts(ps.in, ps.prob, ps.vm, solverOptions(ps.opts))
+		sopts := solverOptions(ps.opts)
+		if sp := ps.stageSpan; sp != nil {
+			// Surface the simplex internals on the lp-solve span:
+			// refactorizations, FT adoptions, and devex resets land as span
+			// events with their pivot iteration.
+			sopts.Events = func(e lp.Event) {
+				sp.Event(e.Kind.String(), obs.A("iteration", e.Iteration))
+			}
+		}
+		frac, err := lpmodel.SolveBuiltOpts(ps.in, ps.prob, ps.vm, sopts)
 		if err != nil {
 			return err
 		}
@@ -355,16 +377,58 @@ func Solve(in *netmodel.Instance, opts Options) (*Result, error) {
 	// The sharded path needs at least two nonempty shards to be a
 	// decomposition at all (two real sinks — a viewer's streams are
 	// shard-atomic); LPOnly wants the monolithic fractional optimum.
+	var res *Result
+	var err error
 	if opts.Shards >= 2 && in.NumViewers() >= 2 && !opts.LPOnly {
-		return solveSharded(in, opts)
+		res, err = solveSharded(in, opts)
+	} else {
+		res, err = solveMono(in, opts)
 	}
-	return solveMono(in, opts)
+	if err == nil {
+		recordSolve(opts.Obs, res)
+	}
+	return res, err
+}
+
+// recordSolve feeds the Result-derived solver counters into the metrics
+// registry. It runs exactly once per top-level Solve — nested per-shard
+// solves carry a TraceOnly observer, so nothing here double-counts; the
+// outer Result already aggregates their stats.
+func recordSolve(o *obs.Observer, res *Result) {
+	if o == nil || o.Reg == nil {
+		return
+	}
+	o.Counter(obs.MSolvesTotal).Inc()
+	o.Counter(obs.MLPPivots).Add(float64(res.Timings.LPPivots))
+	o.Counter(obs.MLPRefactorizations).Add(float64(res.LPStats.Refactorizations))
+	o.Counter(obs.MLPFTUpdates).Add(float64(res.LPStats.FTUpdates))
+	o.Counter(obs.MLPDevexResets).Add(float64(res.LPStats.DevexResets))
+	if p := res.Patch; p != nil {
+		o.Counter(obs.MLPPatchedCells).Add(float64(p.Patches()))
+		if p.Rebuilt {
+			o.Counter(obs.MLPRebuilds).Inc()
+		}
+	}
+	if si := res.ShardInfo; si != nil {
+		o.Counter(obs.MShardRebidRounds).Add(float64(si.Rounds))
+		o.Counter(obs.MShardResolves).Add(float64(si.Resolves))
+		o.Counter(obs.MShardExtractionsSkipped).Add(float64(si.ExtractionsSkipped))
+		if si.Fallback {
+			o.Counter(obs.MShardFallbacks).Inc()
+		}
+		for _, p := range si.PerShardPatches {
+			o.Counter(obs.MLPPatchedCells).Add(float64(p))
+		}
+		for _, r := range si.PerShardRebuilds {
+			o.Counter(obs.MLPRebuilds).Add(float64(r))
+		}
+	}
 }
 
 // solveMono is the monolithic pipeline (the paper's algorithm as one LP).
 func solveMono(in *netmodel.Instance, opts Options) (*Result, error) {
 	ps := &pipelineState{in: in, opts: opts}
-	tracker := newStageTracker(opts.StageMemStats)
+	tracker := newStageTracker(opts.StageMemStats, opts.Obs)
 	if err := tracker.runAll(lpStages(ps), ps); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}

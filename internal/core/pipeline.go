@@ -1,13 +1,13 @@
 package core
 
 import (
-	"runtime"
 	"time"
 
 	"repro/internal/gapflow"
 	"repro/internal/lp"
 	"repro/internal/lpmodel"
 	"repro/internal/netmodel"
+	"repro/internal/obs"
 	"repro/internal/round"
 	"repro/internal/shard"
 	"repro/internal/stround"
@@ -30,9 +30,11 @@ type StageStats struct {
 	// Wall is the total wall-clock time across all runs of the stage.
 	Wall time.Duration
 	// AllocBytes and Allocs count heap allocation across all runs,
-	// gathered from runtime.MemStats deltas when Options.StageMemStats
-	// is set (approximate under concurrent allocation, exact in the
-	// common single-solve case); zero otherwise.
+	// gathered from runtime/metrics allocation-total deltas (obs.ReadAllocs)
+	// when Options.StageMemStats is set; zero otherwise. The totals are
+	// process-global, so they are exact in the common one-solve-at-a-time
+	// case and attribute co-running goroutines' allocations to the current
+	// stage otherwise — see Options.StageMemStats.
 	AllocBytes uint64
 	Allocs     uint64
 	// Runs counts how many times the stage executed (tail stages run once
@@ -66,35 +68,45 @@ type pipelineState struct {
 	// sharded-pipeline products
 	plan     *shard.Plan
 	shardOut *shard.Outcome
+
+	// stageObs / stageSpan are set by the tracker just before each stage
+	// runs: the observer derived for the stage's span (the parent for
+	// per-shard child spans) and the span itself (the anchor for lp solver
+	// events). Both nil with tracing off.
+	stageObs  *obs.Observer
+	stageSpan *obs.Span
 }
 
 // stageTracker aggregates StageStats by name, preserving first-run order.
-// Allocation accounting is opt-in (Options.StageMemStats): wall timing is
-// nearly free, but runtime.ReadMemStats briefly stops the world, which a
-// high-frequency re-solve loop should not pay for counters nobody reads.
+// Allocation accounting is opt-in (Options.StageMemStats) and reads the
+// runtime/metrics allocation totals — cheap (no stop-the-world), but
+// process-global, so it stays off inside concurrent per-shard solves. With
+// an observer attached, every stage run additionally opens a trace span and
+// lands in the stage-wall histogram and run counter.
 type stageTracker struct {
 	stats []StageStats
 	index map[string]int
 	mem   bool
+	obs   *obs.Observer
 }
 
-func newStageTracker(mem bool) *stageTracker {
-	return &stageTracker{index: make(map[string]int), mem: mem}
+func newStageTracker(mem bool, o *obs.Observer) *stageTracker {
+	return &stageTracker{index: make(map[string]int), mem: mem, obs: o}
 }
 
 // run executes one stage, accounting wall time and (optionally)
 // allocations.
 func (t *stageTracker) run(st Stage, ps *pipelineState) error {
-	var before, after runtime.MemStats
+	var beforeBytes, beforeObjs uint64
 	if t.mem {
-		runtime.ReadMemStats(&before)
+		beforeBytes, beforeObjs = obs.ReadAllocs()
 	}
+	ps.stageObs, ps.stageSpan = t.obs.StartSpan(st.Name)
 	start := time.Now()
 	err := st.Run(ps)
 	wall := time.Since(start)
-	if t.mem {
-		runtime.ReadMemStats(&after)
-	}
+	ps.stageSpan.End()
+	ps.stageObs, ps.stageSpan = nil, nil
 
 	i, ok := t.index[st.Name]
 	if !ok {
@@ -105,10 +117,15 @@ func (t *stageTracker) run(st Stage, ps *pipelineState) error {
 	s := &t.stats[i]
 	s.Wall += wall
 	if t.mem {
-		s.AllocBytes += after.TotalAlloc - before.TotalAlloc
-		s.Allocs += after.Mallocs - before.Mallocs
+		afterBytes, afterObjs := obs.ReadAllocs()
+		s.AllocBytes += afterBytes - beforeBytes
+		s.Allocs += afterObjs - beforeObjs
 	}
 	s.Runs++
+	if t.obs.Enabled() {
+		t.obs.Histogram(obs.MStageWall, obs.L("stage", st.Name)).Observe(wall.Seconds())
+		t.obs.Counter(obs.MStageRuns, obs.L("stage", st.Name)).Inc()
+	}
 	return err
 }
 

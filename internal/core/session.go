@@ -4,6 +4,7 @@ import (
 	"repro/internal/lp"
 	"repro/internal/lpmodel"
 	"repro/internal/netmodel"
+	"repro/internal/obs"
 	"repro/internal/shard"
 )
 
@@ -71,6 +72,11 @@ func (s *Session) Deployed() *netmodel.Design { return s.prior }
 // Incremental reports whether the session patches its LP in place.
 func (s *Session) Incremental() bool { return s.opts.IncrementalLP }
 
+// SetObserver replaces the observability sink of subsequent Steps. The live
+// engine calls it once per epoch with an observer derived from that epoch's
+// trace span, so the core stage spans nest under the right epoch.
+func (s *Session) SetObserver(o *obs.Observer) { s.opts.Obs = o }
+
 // Observe records a mutation of the instance the session is tracking, as a
 // dirty set (typically the return of netmodel.Delta.Apply). The accumulated
 // set drives the next Step's lp-patch stage; without IncrementalLP it is a
@@ -114,6 +120,7 @@ func (s *Session) Step(in *netmodel.Instance) (*ReoptimizeResult, error) {
 			bias = s.prior
 		}
 		if flips := netmodel.DiffDesigns(s.lastBias, bias); flips != nil {
+			opts.Obs.Counter(obs.MBiasFlips).Add(float64(flips.Size()))
 			if dirty == nil {
 				dirty = &netmodel.DirtySet{}
 			}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/lp"
 	"repro/internal/lpmodel"
 	"repro/internal/netmodel"
+	"repro/internal/obs"
 	"repro/internal/shard"
 )
 
@@ -56,9 +57,16 @@ func solveSharded(in *netmodel.Instance, opts Options) (*Result, error) {
 		shOpts.ShardState = nil
 		shOpts.WarmStart = warm
 		shOpts.Seed = opts.Seed + (uint64(s)+1)*shardSeedMix
-		// Per-stage allocation accounting stops the world; the outer
-		// tracker already times the parallel region as one stage.
+		// The allocation counters are process-global, so per-shard numbers
+		// gathered while shards co-run would be noise; the outer tracker
+		// already accounts the parallel region as one stage.
 		shOpts.StageMemStats = false
+		// Nested solves trace under a per-shard child span but record no
+		// metrics — the outer Result aggregates their stats, and Solve feeds
+		// the registry exactly once from that aggregate.
+		co, sp := ps.stageObs.TraceOnly().StartSpan("shard", obs.A("shard", s))
+		defer sp.End()
+		shOpts.Obs = co
 		shOpts.patcher, shOpts.patchDirty = nil, nil
 		if opts.IncrementalLP {
 			if ps.plan.Patchers[s] == nil {
@@ -100,7 +108,7 @@ func solveSharded(in *netmodel.Instance, opts Options) (*Result, error) {
 	}
 
 	ps = &pipelineState{in: in, opts: opts}
-	tracker := newStageTracker(opts.StageMemStats)
+	tracker := newStageTracker(opts.StageMemStats, opts.Obs)
 	stages := []Stage{
 		{Name: "shard-partition", Run: func(ps *pipelineState) error {
 			plan, err := shard.Prepare(in, sopts, opts.ShardState)

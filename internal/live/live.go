@@ -20,11 +20,14 @@ package live
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/netmodel"
+	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // Event is one timed change of a scenario: at the start of Epoch, Delta is
@@ -44,6 +47,12 @@ type Scenario struct {
 	Epochs int                `json:"epochs"`
 	Events []Event            `json:"events"`
 	Base   *netmodel.Instance `json:"base"`
+	// SinkRegion maps each demand unit to its topology region (gen.Layout.
+	// SinkRegion); the library constructors fill it. It drives the per-region
+	// availability breakdown of EpochReport.Regions and the /slo endpoint.
+	// Nil (e.g. hand-built or pre-existing recorded scenarios) disables the
+	// breakdown — everything else is unaffected.
+	SinkRegion []int `json:"sink_region,omitempty"`
 }
 
 // Validate checks the scenario's shape and every event's delta against the
@@ -57,6 +66,10 @@ func (sc *Scenario) Validate() error {
 	}
 	if sc.Epochs <= 0 {
 		return fmt.Errorf("live: scenario %q has non-positive horizon %d", sc.Name, sc.Epochs)
+	}
+	if sc.SinkRegion != nil && len(sc.SinkRegion) != sc.Base.NumSinks {
+		return fmt.Errorf("live: scenario %q maps %d sink regions over %d sinks",
+			sc.Name, len(sc.SinkRegion), sc.Base.NumSinks)
 	}
 	for _, ev := range sc.Events {
 		if ev.Epoch < 0 || ev.Epoch >= sc.Epochs {
@@ -117,6 +130,16 @@ type Config struct {
 	// bit-identical to a fresh build (golden-tested), so this knob only
 	// exists for baselines and benchmarks.
 	NoIncremental bool
+	// Obs, when non-nil, receives the run's observability signals: the
+	// canonical metric families (epoch gauges and counters, churn, SLO,
+	// epoch-wall histogram — plus everything the solver stack records
+	// through the same observer) and one trace span per epoch with the core
+	// stages nested under it. A nil Obs leaves the run byte-identical.
+	Obs *obs.Observer
+	// OnEpoch, when non-nil, is called after each epoch's report is final
+	// (metrics already fed) — the hook the CLI uses to refresh its /healthz
+	// and /slo state and to pace the timeline.
+	OnEpoch func(er EpochReport)
 	// SLOWindow is the sliding window (in epochs) of the availability SLO
 	// tracker; default 8. SLOTarget is the fraction of active sinks that
 	// must meet their exact reliability threshold for an epoch to count as
@@ -197,6 +220,10 @@ type EpochReport struct {
 	// of the trailing SLOWindow epochs (including this one) that did.
 	SLOOk         bool    `json:"slo_ok"`
 	SLOWindowFrac float64 `json:"slo_window_frac"`
+	// Regions breaks availability down by topology region (present only
+	// when the scenario carries a SinkRegion map). Deterministic like the
+	// audit it derives from.
+	Regions []RegionAvail `json:"regions,omitempty"`
 	// Packet-sim quality: meaningful only when SimRan is true (the epoch
 	// was simulated). The numeric fields are always serialized so a
 	// measured zero is distinguishable from "not simulated".
@@ -236,6 +263,40 @@ type RunReport struct {
 	SLOTarget    float64 `json:"slo_target"`
 	SLOBreaches  int     `json:"slo_breaches"`
 	MinSLOWindow float64 `json:"min_slo_window"`
+	// EpochWallQuantiles summarizes the per-epoch solve wall across the
+	// timeline, and StageWallQuantiles breaks the same summary down by
+	// pipeline stage. Wall-clock derived, so nondeterministic like WallNS
+	// (determinism and replay comparisons scrub them).
+	EpochWallQuantiles WallQuantiles            `json:"epoch_wall_quantiles"`
+	StageWallQuantiles map[string]WallQuantiles `json:"stage_wall_quantiles,omitempty"`
+}
+
+// RegionAvail is one region's availability row of an epoch: how many of its
+// active demand units met their exact reliability threshold, and the
+// region's own trailing-window availability (the same SLOWindow/SLOTarget
+// rule applied region-locally).
+type RegionAvail struct {
+	Region int     `json:"region"`
+	Active int     `json:"active_sinks"`
+	Met    int     `json:"met"`
+	Frac   float64 `json:"frac"`
+	// WindowFrac is the fraction of the trailing SLOWindow epochs in which
+	// this region alone met the availability target.
+	WindowFrac float64 `json:"window_frac"`
+}
+
+// WallQuantiles are order statistics of a wall-time sample (nanoseconds,
+// matching the WallNS fields they summarize).
+type WallQuantiles struct {
+	P50NS int64 `json:"p50_ns"`
+	P95NS int64 `json:"p95_ns"`
+	P99NS int64 `json:"p99_ns"`
+}
+
+// wallQuantiles summarizes ns samples via the shared stats helper.
+func wallQuantiles(ns []float64) WallQuantiles {
+	qs := stats.Quantiles(ns, 0.5, 0.95, 0.99)
+	return WallQuantiles{P50NS: int64(qs[0]), P95NS: int64(qs[1]), P99NS: int64(qs[2])}
 }
 
 // LPConstructionNS sums the run's model-construction wall across epochs:
@@ -271,6 +332,7 @@ func Run(sc *Scenario, cfg Config) (*RunReport, error) {
 	if cfg.SLOTarget <= 0 {
 		cfg.SLOTarget = 0.5
 	}
+	obs.Canonical(cfg.Obs.Registry())
 	byEpoch := make(map[int][]Event, len(sc.Events))
 	for _, ev := range sc.Events {
 		byEpoch[ev.Epoch] = append(byEpoch[ev.Epoch], ev)
@@ -283,6 +345,17 @@ func Run(sc *Scenario, cfg Config) (*RunReport, error) {
 		SLOWindow: cfg.SLOWindow, SLOTarget: cfg.SLOTarget, MinSLOWindow: 1,
 	}
 	sloOK := 0 // epochs in the current trailing window meeting the target
+
+	// Per-region SLO tracking (only with a SinkRegion map): the same
+	// window/target rule as the global tracker, applied region-locally.
+	numRegions := 0
+	for _, reg := range sc.SinkRegion {
+		if reg+1 > numRegions {
+			numRegions = reg + 1
+		}
+	}
+	regHist := make([][]bool, numRegions) // per-region per-epoch ok
+	regOK := make([]int, numRegions)      // trailing-window ok counts
 
 	for e := 0; e < sc.Epochs; e++ {
 		er := EpochReport{Epoch: e}
@@ -301,8 +374,14 @@ func Run(sc *Scenario, cfg Config) (*RunReport, error) {
 			}
 		}
 		er.ActiveViewers = in.ActiveViewers()
+		// One trace span per epoch; the session observes through it so the
+		// core stage spans nest underneath.
+		eo, esp := cfg.Obs.StartSpan("epoch",
+			obs.A("epoch", e), obs.A("events", len(er.Events)), obs.A("edits", er.Edits))
+		sess.SetObserver(eo)
 		start := time.Now()
 		res, err := sess.Step(in)
+		esp.End()
 		if err != nil {
 			return nil, fmt.Errorf("live: epoch %d solve: %w", e, err)
 		}
@@ -383,6 +462,44 @@ func Run(sc *Scenario, cfg Config) (*RunReport, error) {
 			rep.MinSLOWindow = er.SLOWindowFrac
 		}
 
+		// Per-region availability: the audit's per-unit met flags sliced by
+		// the scenario's region map, each region running its own trailing
+		// window so /slo can show where an outage actually landed.
+		if numRegions > 0 {
+			active := make([]int, numRegions)
+			met := make([]int, numRegions)
+			for j, reg := range sc.SinkRegion {
+				if in.Threshold[j] > 0 {
+					active[reg]++
+					if res.Audit.Met[j] {
+						met[reg]++
+					}
+				}
+			}
+			for reg := 0; reg < numRegions; reg++ {
+				ok := active[reg] == 0 ||
+					float64(met[reg]) >= cfg.SLOTarget*float64(active[reg])-1e-9
+				if ok {
+					regOK[reg]++
+				}
+				regHist[reg] = append(regHist[reg], ok)
+				if drop := e - cfg.SLOWindow; drop >= 0 && regHist[reg][drop] {
+					regOK[reg]--
+				}
+				frac := 1.0
+				if active[reg] > 0 {
+					frac = float64(met[reg]) / float64(active[reg])
+				}
+				er.Regions = append(er.Regions, RegionAvail{
+					Region:     reg,
+					Active:     active[reg],
+					Met:        met[reg],
+					Frac:       frac,
+					WindowFrac: float64(regOK[reg]) / float64(window),
+				})
+			}
+		}
+
 		if cfg.SimPackets > 0 && e%cfg.SimEvery == 0 {
 			scfg := sim.DefaultConfig(sc.Seed + 0x5deece66d*uint64(e+1))
 			scfg.Packets = cfg.SimPackets
@@ -409,8 +526,63 @@ func Run(sc *Scenario, cfg Config) (*RunReport, error) {
 		if !er.AuditOK {
 			rep.AllAuditOK = false
 		}
+		recordEpoch(cfg.Obs.Registry(), er)
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(er)
+		}
+	}
+
+	// Wall-time order statistics across the timeline: the whole-epoch solve
+	// wall, and each stage over the epochs it actually ran in (lp-build, for
+	// example, typically runs only in epoch 0 under the incremental rebuild).
+	walls := make([]float64, 0, len(rep.Epochs))
+	stageWalls := make(map[string][]float64)
+	for _, er := range rep.Epochs {
+		walls = append(walls, float64(er.WallNS))
+		for name, ns := range er.StageWallNS {
+			stageWalls[name] = append(stageWalls[name], float64(ns))
+		}
+	}
+	rep.EpochWallQuantiles = wallQuantiles(walls)
+	if len(stageWalls) > 0 {
+		rep.StageWallQuantiles = make(map[string]WallQuantiles, len(stageWalls))
+		for name, ns := range stageWalls {
+			rep.StageWallQuantiles[name] = wallQuantiles(ns)
+		}
 	}
 	return rep, nil
+}
+
+// recordEpoch feeds one epoch's report into the metrics registry under the
+// canonical naming scheme. The solver-level counters (pivots, factorization
+// events, patches, shard coordination) are NOT fed here — core.Solve already
+// records them through the same observer — so every metric has exactly one
+// feeding point.
+func recordEpoch(r *obs.Registry, er EpochReport) {
+	if r == nil {
+		return
+	}
+	r.Counter(obs.MEpochsTotal).Inc()
+	r.Gauge(obs.MEpoch).Set(float64(er.Epoch))
+	r.Histogram(obs.MEpochWall, nil).Observe(float64(er.WallNS) / 1e9)
+	r.Gauge(obs.MEpochCost).Set(er.TrueCost)
+	r.Gauge(obs.MActiveSinks).Set(float64(er.ActiveSinks))
+	r.Gauge(obs.MActiveViewers).Set(float64(er.ActiveViewers))
+	r.Gauge(obs.MBuiltReflectors).Set(float64(er.BuiltReflectors))
+	if !er.AuditOK {
+		r.Counter(obs.MAuditFailures).Inc()
+	}
+	r.Counter(obs.MChurnArcs).Add(float64(er.ArcChurn))
+	r.Counter(obs.MChurnReflectors).Add(float64(er.ReflectorChurn))
+	r.Counter(obs.MChurnStreams).Add(float64(er.StreamChurn))
+	r.Counter(obs.MChurnViewers).Add(er.ViewerChurn)
+	r.Gauge(obs.MSLOWindowAvailability).Set(er.SLOWindowFrac)
+	if !er.SLOOk {
+		r.Counter(obs.MSLOBreaches).Inc()
+	}
+	for _, ra := range er.Regions {
+		r.Gauge(obs.MRegionAvailability, obs.L("region", strconv.Itoa(ra.Region))).Set(ra.Frac)
+	}
 }
 
 // ComparePolicies runs the same timeline once per policy (each from a fresh

@@ -39,9 +39,12 @@ func TestAllScenariosRunClean(t *testing.T) {
 }
 
 // scrubWall zeroes the wall-clock fields (including the per-stage
-// breakdown), the only nondeterministic part of a report.
+// breakdown and the wall-derived quantile summaries), the only
+// nondeterministic part of a report.
 func scrubWall(rep *RunReport) {
 	rep.TotalWallNS = 0
+	rep.EpochWallQuantiles = WallQuantiles{}
+	rep.StageWallQuantiles = nil
 	for i := range rep.Epochs {
 		rep.Epochs[i].WallNS = 0
 		rep.Epochs[i].StageWallNS = nil

@@ -75,7 +75,7 @@ func FlashCrowd(seed uint64, epochs int) *Scenario {
 			crowd = append(crowd, j)
 		}
 	}
-	sc := &Scenario{Name: "flashcrowd", Seed: seed, Epochs: epochs, Base: in}
+	sc := &Scenario{Name: "flashcrowd", Seed: seed, Epochs: epochs, Base: in, SinkRegion: l.SinkRegion}
 
 	joinStart := max(1, epochs/5)
 	const joinWaves = 3
@@ -161,7 +161,7 @@ func DiurnalWave(seed uint64, epochs int) *Scenario {
 			}
 		}
 	}
-	sc := &Scenario{Name: "diurnal", Seed: seed, Epochs: epochs, Base: in}
+	sc := &Scenario{Name: "diurnal", Seed: seed, Epochs: epochs, Base: in, SinkRegion: l.SinkRegion}
 	for e := 1; e < epochs; e++ {
 		d := netmodel.Delta{Note: fmt.Sprintf("diurnal shift @%d", e)}
 		for reg := range byRegion {
@@ -193,7 +193,7 @@ func RollingISPOutage(seed uint64, epochs int) *Scenario {
 	tc.Threshold = 0.97
 	in, cc, l := tc.instance(seed)
 	rng := stats.NewRNG(seed ^ 0x901a11ed)
-	sc := &Scenario{Name: "rollingisp", Seed: seed, Epochs: epochs, Base: in}
+	sc := &Scenario{Name: "rollingisp", Seed: seed, Epochs: epochs, Base: in, SinkRegion: l.SinkRegion}
 
 	w := max(2, epochs/8)
 	gap := max(w+2, epochs/(cc.ISPs+1))
@@ -243,7 +243,7 @@ func CorrelatedBackboneFailure(seed uint64, epochs int) *Scenario {
 	tc := DefaultTopo()
 	in, cc, l := tc.instance(seed)
 	srcReg := l.SrcRegion
-	sc := &Scenario{Name: "backbone", Seed: seed, Epochs: epochs, Base: in}
+	sc := &Scenario{Name: "backbone", Seed: seed, Epochs: epochs, Base: in, SinkRegion: l.SinkRegion}
 
 	addIncident := func(start, w int, factor float64, label string) {
 		if start < 1 || start+w >= epochs {
@@ -301,9 +301,9 @@ func CorrelatedBackboneFailure(seed uint64, epochs int) *Scenario {
 // the deployed design almost unchanged at near-zero pivot cost.
 func GradualRepricing(seed uint64, epochs int) *Scenario {
 	tc := DefaultTopo()
-	in, _, _ := tc.instance(seed)
+	in, _, l := tc.instance(seed)
 	rng := stats.NewRNG(seed ^ 0x4e91ce)
-	sc := &Scenario{Name: "repricing", Seed: seed, Epochs: epochs, Base: in}
+	sc := &Scenario{Name: "repricing", Seed: seed, Epochs: epochs, Base: in, SinkRegion: l.SinkRegion}
 	for e := 1; e < epochs; e++ {
 		d := netmodel.Delta{Note: fmt.Sprintf("repricing @%d", e)}
 		for i := 0; i < in.NumReflectors; i++ {
@@ -345,7 +345,7 @@ func GradualRepricing(seed uint64, epochs int) *Scenario {
 // rebuilds — test- and CI-locked).
 func StreamPopularityWave(seed uint64, epochs int) *Scenario {
 	tc := MultiStreamTopo()
-	in, cc, _ := tc.instance(seed)
+	in, cc, l := tc.instance(seed)
 	rng := stats.NewRNG(seed ^ 0x57ea3aa4e)
 
 	// Standby slots start unsubscribed: every unit that is not its
@@ -359,7 +359,7 @@ func StreamPopularityWave(seed uint64, epochs int) *Scenario {
 			holders[in.Commodity[u]] = append(holders[in.Commodity[u]], v)
 		}
 	}
-	sc := &Scenario{Name: "streamwave", Seed: seed, Epochs: epochs, Base: in}
+	sc := &Scenario{Name: "streamwave", Seed: seed, Epochs: epochs, Base: in, SinkRegion: l.SinkRegion}
 
 	w := max(2, epochs/6)
 	gap := max(w+1, (epochs-2)/max(1, in.NumSources))
@@ -398,8 +398,8 @@ func StreamPopularityWave(seed uint64, epochs int) *Scenario {
 // would count a full leave plus a full join.
 func StreamFailover(seed uint64, epochs int) *Scenario {
 	tc := MultiStreamTopo()
-	in, cc, _ := tc.instance(seed)
-	sc := &Scenario{Name: "streamfailover", Seed: seed, Epochs: epochs, Base: in}
+	in, cc, l := tc.instance(seed)
+	sc := &Scenario{Name: "streamfailover", Seed: seed, Epochs: epochs, Base: in, SinkRegion: l.SinkRegion}
 
 	// Standby slots (every non-first slot) start unsubscribed.
 	byViewer := in.ViewerUnits()

@@ -97,6 +97,7 @@ func (s *sparse) adoptFactorization(f *Factorization) bool {
 	s.upper.copyFrom(f.upper)
 	s.updates.copyFrom(f.updates)
 	s.stats.FTUpdates++
+	s.emit(EventFTAdoption)
 	if s.updates.count() >= s.refactorEvery {
 		return s.refactor()
 	}

@@ -384,6 +384,44 @@ func (s *SolveStats) Add(o SolveStats) {
 	s.DevexResets += o.DevexResets
 }
 
+// EventKind identifies a solver-internal occurrence surfaced through
+// Options.Events. The kinds mirror the SolveStats counters one-to-one, so an
+// Events subscriber sees each counted event as it happens (with its pivot
+// iteration) instead of only the totals.
+type EventKind int
+
+// Solver-internal event kinds.
+const (
+	// EventRefactorization fires when the basis inverse is rebuilt from
+	// scratch.
+	EventRefactorization EventKind = iota
+	// EventFTAdoption fires when a warm-start install adopts a carried
+	// factorization instead of refactorizing.
+	EventFTAdoption
+	// EventDevexReset fires when the devex reference framework resets.
+	EventDevexReset
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventRefactorization:
+		return "refactorization"
+	case EventFTAdoption:
+		return "ft-adoption"
+	case EventDevexReset:
+		return "devex-reset"
+	}
+	return "unknown"
+}
+
+// Event is one solver-internal occurrence: its kind and the pivot iteration
+// it happened at (0 when it precedes the first pivot, e.g. the install-time
+// refactorization).
+type Event struct {
+	Kind      EventKind
+	Iteration int
+}
+
 // Solution is the result of Solve.
 type Solution struct {
 	Status     Status
@@ -445,6 +483,12 @@ type Options struct {
 	// behavior, kept as an escape hatch and as the reference arm of the
 	// persistence equivalence tests.
 	RefactorOnInstall bool
+	// Events, when non-nil, receives solver-internal events (sparse solver
+	// only) as they happen — one call per SolveStats increment. The callback
+	// runs on the solving goroutine inside the pivot loop; it must be cheap
+	// and must not call back into the solver. Used by the observability layer
+	// to attach refactorization/FT-adoption/devex-reset events to trace spans.
+	Events func(Event)
 }
 
 // numerical tolerances

@@ -354,6 +354,16 @@ func (s *sparse) resetDevex() {
 		s.devexW[j] = 1
 	}
 	s.stats.DevexResets++
+	s.emit(EventDevexReset)
+}
+
+// emit forwards a solver-internal event to the Options.Events subscriber,
+// stamped with the current pivot iteration. Kept out of line so the stats
+// sites stay one-line increments.
+func (s *sparse) emit(k EventKind) {
+	if s.opts.Events != nil {
+		s.opts.Events(Event{Kind: k, Iteration: s.iters})
+	}
 }
 
 // setPhase installs the phase-dependent per-column bounds and costs:
@@ -661,6 +671,7 @@ func (s *sparse) refactor() bool {
 	s.refLoVals, s.refUpVals = loVals, upVals
 	s.computeBeta()
 	s.stats.Refactorizations++
+	s.emit(EventRefactorization)
 	s.resetDevex()
 	return true
 }

@@ -177,6 +177,12 @@ type Audit struct {
 	// a sink grouping these equal MetDemand and Sinks.
 	MetViewers int
 	Viewers    int
+	// Met is the per-demand-unit breakdown behind MetDemand: Met[j] is true
+	// when unit j has positive demand and meets its exact reliability
+	// threshold. Consumers slicing availability along another dimension —
+	// the live engine's per-region SLO — aggregate from here instead of
+	// re-auditing.
+	Met []bool
 }
 
 // AuditDesign audits d against in.
@@ -218,6 +224,7 @@ func AuditDesign(in *Instance, d *Design) Audit {
 			met[j] = true
 		}
 	}
+	a.Met = met
 	if a.Sinks == 0 {
 		a.WeightFactor = 1
 	}

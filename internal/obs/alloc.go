@@ -1,0 +1,30 @@
+package obs
+
+import "runtime/metrics"
+
+// ReadAllocs returns the process's cumulative heap allocation (bytes,
+// objects) via runtime/metrics — unlike runtime.ReadMemStats it does not
+// stop the world, so stage-level allocation deltas are cheap enough to
+// leave on.
+//
+// The counters are process-global: a delta across a code region is exact
+// when that region is the only thing allocating (the monolithic solve
+// pipeline) and an attribution over everything co-running otherwise (the
+// shard-solve stage's concurrent per-shard solves all land in the stage's
+// delta — which is still the true cost of the stage, just not of any one
+// shard). Per-goroutine accounting does not exist in the runtime; callers
+// that need exact per-task numbers must run the task unshared.
+func ReadAllocs() (bytes, objects uint64) {
+	s := [2]metrics.Sample{
+		{Name: "/gc/heap/allocs:bytes"},
+		{Name: "/gc/heap/allocs:objects"},
+	}
+	metrics.Read(s[:])
+	if s[0].Value.Kind() == metrics.KindUint64 {
+		bytes = s[0].Value.Uint64()
+	}
+	if s[1].Value.Kind() == metrics.KindUint64 {
+		objects = s[1].Value.Uint64()
+	}
+	return bytes, objects
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// FlameNode aggregates spans sharing the same name-path (root→…→name)
+// across the whole trace: a 50-epoch run folds into one tree whose "epoch"
+// node has Count 50. Self time is total minus the children's totals —
+// the per-epoch flame summary the scale sweeps use to find hot paths.
+type FlameNode struct {
+	Name     string
+	Count    int
+	TotalNS  int64
+	Events   int
+	Children []*FlameNode
+
+	children map[string]*FlameNode
+}
+
+// SelfNS is the node's total minus its children's totals (time spent in
+// the node itself).
+func (n *FlameNode) SelfNS() int64 {
+	self := n.TotalNS
+	for _, c := range n.Children {
+		self -= c.TotalNS
+	}
+	return self
+}
+
+// Flame folds trace records into an aggregated call tree. Spans whose
+// parent is missing from the trace (or zero) become roots. The returned
+// pseudo-root has no name; its children are the real roots.
+func Flame(recs []SpanRecord) *FlameNode {
+	byID := make(map[uint64]*SpanRecord, len(recs))
+	for i := range recs {
+		byID[recs[i].ID] = &recs[i]
+	}
+	// path resolves the name chain of a span by walking parents.
+	var path func(r *SpanRecord) []string
+	path = func(r *SpanRecord) []string {
+		if r.Parent == 0 {
+			return []string{r.Name}
+		}
+		p, ok := byID[r.Parent]
+		if !ok {
+			return []string{r.Name}
+		}
+		return append(path(p), r.Name)
+	}
+	root := &FlameNode{children: map[string]*FlameNode{}}
+	for i := range recs {
+		r := &recs[i]
+		node := root
+		for _, name := range path(r) {
+			child, ok := node.children[name]
+			if !ok {
+				child = &FlameNode{Name: name, children: map[string]*FlameNode{}}
+				node.children[name] = child
+				node.Children = append(node.Children, child)
+			}
+			node = child
+		}
+		node.Count++
+		node.TotalNS += r.DurNS
+		node.Events += len(r.Events)
+	}
+	var sortTree func(n *FlameNode)
+	sortTree = func(n *FlameNode) {
+		sort.Slice(n.Children, func(i, j int) bool { return n.Children[i].TotalNS > n.Children[j].TotalNS })
+		for _, c := range n.Children {
+			sortTree(c)
+		}
+	}
+	sortTree(root)
+	for _, c := range root.Children {
+		root.TotalNS += c.TotalNS
+	}
+	return root
+}
+
+// Render prints the flame tree as an indented table: one row per path with
+// call count, total and self wall, and the share of the trace total.
+func (n *FlameNode) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-42s %8s %12s %12s %6s %7s\n", "span", "calls", "total", "self", "%", "events")
+	total := n.TotalNS
+	if total == 0 {
+		total = 1
+	}
+	var walk func(node *FlameNode, depth int)
+	walk = func(node *FlameNode, depth int) {
+		name := strings.Repeat("  ", depth) + node.Name
+		if len(name) > 42 {
+			name = name[:39] + "..."
+		}
+		fmt.Fprintf(&b, "%-42s %8d %12v %12v %5.1f%% %7d\n",
+			name, node.Count,
+			time.Duration(node.TotalNS).Round(time.Microsecond),
+			time.Duration(node.SelfNS()).Round(time.Microsecond),
+			100*float64(node.TotalNS)/float64(total), node.Events)
+		for _, c := range node.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, c := range n.Children {
+		walk(c, 0)
+	}
+	return b.String()
+}

@@ -1,0 +1,101 @@
+// Package obs is the unified observability layer of the repo: a
+// zero-dependency metrics registry (counters, gauges, fixed-bucket
+// histograms with atomic hot paths), hierarchical solve tracing (spans
+// emitted as JSONL, renderable as a per-epoch flame summary), and runtime
+// surfaces (a Prometheus text-format /metrics handler, /healthz, /slo, and
+// pprof on an opt-in debug server).
+//
+// The paper's §1.3 monitoring loop — "costs, losses and demands are
+// re-measured and the network is re-provisioned" — implies an operational
+// layer next to the algorithm: Akamai's production deployment of this
+// design ran continuous telemetry on reflector load and delivery quality.
+// This package is that layer's substrate. Every bespoke counter the engine
+// grew across PRs 1–6 (stage walls, LP factorization events, shard
+// re-bidding rounds, churn and SLO numbers) flows through one Registry
+// under one naming scheme (see naming.go), while the pre-existing
+// Result/EpochReport JSON stays exactly as it was.
+//
+// Everything is nil-safe: a nil *Observer, *Registry, *Tracer, *Span, or
+// metric handle no-ops, so instrumentation sites need no conditionals and
+// a run without observability pays only a nil check.
+package obs
+
+// Observer bundles the two observability sinks an instrumented call tree
+// threads along: the metrics registry and the current trace position. A nil
+// Observer (or one with both sinks nil) disables observability; partial
+// configurations work — metrics without tracing, tracing without metrics.
+type Observer struct {
+	// Reg receives metrics (nil = metrics off).
+	Reg *Registry
+	// Tr emits trace spans (nil = tracing off).
+	Tr *Tracer
+	// Span is the parent for spans started through this observer (nil =
+	// new spans are roots).
+	Span *Span
+}
+
+// Enabled reports whether any sink is attached.
+func (o *Observer) Enabled() bool {
+	return o != nil && (o.Reg != nil || o.Tr != nil)
+}
+
+// Registry returns the attached registry (nil when metrics are off).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Reg
+}
+
+// StartSpan opens a child span of the observer's current span and returns a
+// derived observer whose Span is the new one (for passing further down the
+// call tree) together with the span itself (for the caller to End). With
+// tracing off it returns the receiver unchanged and a nil span, so the
+// usual pattern is unconditional:
+//
+//	co, sp := o.StartSpan("lp-solve")
+//	defer sp.End()
+func (o *Observer) StartSpan(name string, attrs ...Attr) (*Observer, *Span) {
+	if o == nil || o.Tr == nil {
+		return o, nil
+	}
+	sp := o.Tr.Start(o.Span, name, attrs...)
+	return &Observer{Reg: o.Reg, Tr: o.Tr, Span: sp}, sp
+}
+
+// TraceOnly returns an observer that traces under the same current span but
+// records no metrics — used for nested solves (per-shard pipelines) whose
+// counters the outer pipeline already aggregates, so nothing double-counts.
+func (o *Observer) TraceOnly() *Observer {
+	if o == nil || o.Tr == nil {
+		return nil
+	}
+	return &Observer{Tr: o.Tr, Span: o.Span}
+}
+
+// Counter resolves a counter in the attached registry (nil without one).
+func (o *Observer) Counter(name string, labels ...Label) *Counter {
+	if o == nil || o.Reg == nil {
+		return nil
+	}
+	return o.Reg.Counter(name, labels...)
+}
+
+// Gauge resolves a gauge in the attached registry (nil without one).
+func (o *Observer) Gauge(name string, labels ...Label) *Gauge {
+	if o == nil || o.Reg == nil {
+		return nil
+	}
+	return o.Reg.Gauge(name, labels...)
+}
+
+// Histogram resolves a histogram in the attached registry (nil without
+// one). Bucket bounds come from the family's registration (naming.go
+// registers every canonical family); an unregistered name gets
+// DefaultDurationBuckets.
+func (o *Observer) Histogram(name string, labels ...Label) *Histogram {
+	if o == nil || o.Reg == nil {
+		return nil
+	}
+	return o.Reg.Histogram(name, nil, labels...)
+}

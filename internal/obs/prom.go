@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteProm writes the registry in the Prometheus text exposition format
+// (version 0.0.4): one HELP/TYPE header per family, one line per series,
+// histograms expanded into cumulative _bucket/_sum/_count series. Families
+// sort by name and instances keep registration order, so output is stable
+// — the format golden test locks it.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, f := range r.snapshot() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, inst := range f.insts {
+			if err := writePromInstance(w, f, inst); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromInstance(w io.Writer, f snapshotFamily, inst *instance) error {
+	switch f.kind {
+	case KindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, promLabels(inst.labels, "", 0), promFloat(inst.c.Value()))
+		return err
+	case KindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, promLabels(inst.labels, "", 0), promFloat(inst.g.Value()))
+		return err
+	case KindHistogram:
+		h := inst.h
+		cum := uint64(0)
+		for i, ub := range h.upper {
+			cum += h.counts[i].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, promLabels(inst.labels, "le", ub), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.counts[len(h.upper)].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, promLabels(inst.labels, "le", math.Inf(1)), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, promLabels(inst.labels, "", 0), promFloat(h.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, promLabels(inst.labels, "", 0), cum)
+		return err
+	}
+	return nil
+}
+
+// promLabels renders {k="v",...}, appending an le bucket label when leKey
+// is non-empty. Empty label sets render as nothing (or {le="..."} alone).
+func promLabels(labels []Label, leKey string, le float64) string {
+	if len(labels) == 0 && leKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if leKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(leKey)
+		b.WriteString(`="`)
+		b.WriteString(promFloat(le))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus expects: shortest exact
+// decimal, +Inf/-Inf/NaN spelled out.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// ExpvarFunc returns an expvar.Func exposing the registry as a JSON object:
+// counters and gauges as numbers, histograms as {count, sum, p50, p95, p99}
+// objects, keyed by family name plus a {labels} suffix when labeled.
+func (r *Registry) ExpvarFunc() expvar.Func {
+	return func() any {
+		out := map[string]any{}
+		if r == nil {
+			return out
+		}
+		for _, f := range r.snapshot() {
+			for _, inst := range f.insts {
+				key := f.name + promLabels(inst.labels, "", 0)
+				switch f.kind {
+				case KindCounter:
+					out[key] = inst.c.Value()
+				case KindGauge:
+					out[key] = inst.g.Value()
+				case KindHistogram:
+					out[key] = map[string]any{
+						"count": inst.h.Count(),
+						"sum":   inst.h.Sum(),
+						"p50":   inst.h.Quantile(0.50),
+						"p95":   inst.h.Quantile(0.95),
+						"p99":   inst.h.Quantile(0.99),
+					}
+				}
+			}
+		}
+		return out
+	}
+}
+
+// PublishExpvar publishes the registry under the given expvar name
+// (typically "overlay"), replacing nothing if the name is already taken —
+// expvar.Publish panics on duplicates, and tests re-publish freely.
+func PublishExpvar(name string, r *Registry) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, r.ExpvarFunc())
+}

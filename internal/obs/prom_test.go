@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPromTextGolden locks the exposition format exactly: family ordering,
+// HELP/TYPE headers, label rendering, cumulative histogram buckets, and
+// float formatting. Scrapers (and CI's obs-smoke greps) depend on this
+// shape.
+func TestPromTextGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Describe("overlay_demo_wall_seconds", KindHistogram, "Demo wall time.", []float64{0.001, 0.01, 0.1})
+	r.Describe("overlay_demo_total", KindCounter, "Demo counter.", nil)
+	r.Counter("overlay_demo_total").Add(3)
+	r.Counter("overlay_demo_total", L("stage", "lp-solve")).Add(1.5)
+	r.Gauge("overlay_demo_cost").Set(42.25)
+	h := r.Histogram("overlay_demo_wall_seconds", nil)
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(2)
+
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE overlay_demo_cost gauge
+overlay_demo_cost 42.25
+# HELP overlay_demo_total Demo counter.
+# TYPE overlay_demo_total counter
+overlay_demo_total 3
+overlay_demo_total{stage="lp-solve"} 1.5
+# HELP overlay_demo_wall_seconds Demo wall time.
+# TYPE overlay_demo_wall_seconds histogram
+overlay_demo_wall_seconds_bucket{le="0.001"} 1
+overlay_demo_wall_seconds_bucket{le="0.01"} 1
+overlay_demo_wall_seconds_bucket{le="0.1"} 2
+overlay_demo_wall_seconds_bucket{le="+Inf"} 3
+overlay_demo_wall_seconds_sum 2.0505
+overlay_demo_wall_seconds_count 3
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("prometheus text drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPromLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", L("k", "a\"b\\c\nd")).Inc()
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `m{k="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label not escaped: %s", sb.String())
+	}
+}
+
+func TestExpvarFunc(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(2)
+	r.Histogram("h", []float64{1, 10}).Observe(5)
+	m, ok := r.ExpvarFunc()().(map[string]any)
+	if !ok {
+		t.Fatal("expvar func did not return a map")
+	}
+	if m["c"] != 2.0 {
+		t.Fatalf("expvar counter = %v", m["c"])
+	}
+	hv, ok := m["h"].(map[string]any)
+	if !ok || hv["count"] != uint64(1) {
+		t.Fatalf("expvar histogram = %v", m["h"])
+	}
+}

@@ -1,0 +1,383 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// A Label is one key="value" dimension of a metric instance. Metrics with
+// the same family name but different label sets are distinct time series
+// (overlay_stage_wall_seconds{stage="lp-solve"} vs {stage="round"}).
+type Label struct{ Key, Value string }
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Kind is the metric family type.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// Counter is a monotonically increasing float64 (float so fractional
+// quantities like viewer churn fit). The hot path is a lock-free CAS add.
+type Counter struct{ bits atomic.Uint64 }
+
+// Add increments the counter. Negative deltas are ignored (counters only go
+// up); nil receivers no-op.
+func (c *Counter) Add(v float64) {
+	if c == nil || v <= 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		if c.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current total (0 on nil).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is a float64 that can move both ways.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v (nil receivers no-op).
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add shifts the gauge by v.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram: Observe is a binary search plus
+// two atomic adds, cheap enough for the epoch loop's hot path. Buckets are
+// upper bounds in ascending order; an implicit +Inf bucket catches the
+// tail.
+type Histogram struct {
+	upper   []float64
+	counts  []atomic.Uint64 // len(upper)+1, cumulative only at export
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+// Observe records one sample (nil receivers no-op).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bucket with upper >= v.
+	lo, hi := 0, len(h.upper)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.upper[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// inside the bucket holding it — the usual Prometheus-style estimate, exact
+// only up to bucket resolution. Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if cum+n >= rank && n > 0 {
+			var lo, hi float64
+			if i == 0 {
+				lo = 0
+			} else {
+				lo = h.upper[i-1]
+			}
+			if i < len(h.upper) {
+				hi = h.upper[i]
+			} else {
+				// +Inf bucket: report its lower bound.
+				return lo
+			}
+			frac := (rank - cum) / n
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	return h.upper[len(h.upper)-1]
+}
+
+// DefaultDurationBuckets spans 10µs to ~100s in ×2.5 steps — wide enough
+// for both a sub-millisecond lp-patch and a multi-second 2000-sink sharded
+// epoch. Values are seconds (the canonical unit of every *_seconds metric).
+func DefaultDurationBuckets() []float64 {
+	return ExpBuckets(10e-6, 2.5, 18)
+}
+
+// ExpBuckets returns n exponentially spaced upper bounds starting at start
+// and growing by factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// family is one named metric family: a kind, help text, and the instances
+// keyed by their serialized label sets.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	buckets []float64
+	insts   map[string]*instance
+	order   []string // label keys in first-seen order, for stable export
+}
+
+type instance struct {
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds metric families. Resolving a handle takes a short critical
+// section; the returned handles are lock-free, so hot paths resolve once
+// and hold on to them. A nil Registry no-ops on every method.
+type Registry struct {
+	mu    sync.Mutex
+	fams  map[string]*family
+	names []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// Describe registers (or re-describes) a family's kind and help text
+// without creating an instance. Histogram families take their bucket
+// bounds here; nil buckets default to DefaultDurationBuckets. Describing
+// an existing family updates only its help text.
+func (r *Registry) Describe(name string, kind Kind, help string, buckets []float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		f.help = help
+		return
+	}
+	r.addFamilyLocked(name, kind, help, buckets)
+}
+
+func (r *Registry) addFamilyLocked(name string, kind Kind, help string, buckets []float64) *family {
+	if kind == KindHistogram && buckets == nil {
+		buckets = DefaultDurationBuckets()
+	}
+	f := &family{name: name, help: help, kind: kind, buckets: buckets,
+		insts: make(map[string]*instance)}
+	r.fams[name] = f
+	r.names = append(r.names, name)
+	sort.Strings(r.names)
+	return f
+}
+
+func (r *Registry) resolve(name string, kind Kind, buckets []float64, labels []Label) *instance {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		f = r.addFamilyLocked(name, kind, "", buckets)
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	key := labelKey(labels)
+	inst, ok := f.insts[key]
+	if !ok {
+		inst = &instance{labels: append([]Label(nil), labels...)}
+		switch kind {
+		case KindCounter:
+			inst.c = &Counter{}
+		case KindGauge:
+			inst.g = &Gauge{}
+		case KindHistogram:
+			h := &Histogram{upper: f.buckets}
+			h.counts = make([]atomic.Uint64, len(f.buckets)+1)
+			inst.h = h
+		}
+		f.insts[key] = inst
+		f.order = append(f.order, key)
+	}
+	return inst
+}
+
+// Counter returns the counter instance for (name, labels), creating family
+// and instance on first use. Nil registries return a nil (no-op) handle.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.resolve(name, KindCounter, nil, labels).c
+}
+
+// Gauge returns the gauge instance for (name, labels).
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.resolve(name, KindGauge, nil, labels).g
+}
+
+// Histogram returns the histogram instance for (name, labels). buckets are
+// used only if the family does not exist yet (Describe or a previous call
+// wins); nil falls back to DefaultDurationBuckets.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.resolve(name, KindHistogram, buckets, labels).h
+}
+
+// labelKey serializes a label set into a canonical map key (sorted by
+// label key so {a=1,b=2} and {b=2,a=1} are the same instance).
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	// One label (the stage tracker's per-run hot path) needs no sort and
+	// one concatenation.
+	if len(labels) == 1 {
+		return labels[0].Key + "=" + labels[0].Value
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// snapshotFamily is the export view of one family, taken under the
+// registry lock but reading instance values atomically.
+type snapshotFamily struct {
+	name    string
+	help    string
+	kind    Kind
+	buckets []float64
+	insts   []*instance
+}
+
+// snapshot returns families sorted by name, each with instances in
+// first-registration order.
+func (r *Registry) snapshot() []snapshotFamily {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]snapshotFamily, 0, len(r.names))
+	for _, name := range r.names {
+		f := r.fams[name]
+		sf := snapshotFamily{name: f.name, help: f.help, kind: f.kind, buckets: f.buckets}
+		for _, key := range f.order {
+			sf.insts = append(sf.insts, f.insts[key])
+		}
+		out = append(out, sf)
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter(MLPPivots)
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-3) // counters never go down
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %g, want 3.5", got)
+	}
+	if r.Counter(MLPPivots) != c {
+		t.Fatal("same (name, labels) resolved to a different instance")
+	}
+	if r.Counter(MLPPivots, L("stage", "x")) == c {
+		t.Fatal("labeled series must be a distinct instance")
+	}
+
+	g := r.Gauge(MEpochCost)
+	g.Set(10)
+	g.Add(-4)
+	if got := g.Value(); got != 6 {
+		t.Fatalf("gauge = %g, want 6", got)
+	}
+
+	// Label order must not matter.
+	a := r.Counter("m", L("a", "1"), L("b", "2"))
+	b := r.Counter("m", L("b", "2"), L("a", "1"))
+	if a != b {
+		t.Fatal("label order changed instance identity")
+	}
+}
+
+func TestNilRegistryAndHandlesNoop(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(1)
+	r.Histogram("x", nil).Observe(1)
+	r.Describe("x", KindCounter, "h", nil)
+	if err := r.WriteProm(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	var o *Observer
+	if o.Enabled() {
+		t.Fatal("nil observer enabled")
+	}
+	co, sp := o.StartSpan("x")
+	if co != nil || sp != nil {
+		t.Fatal("nil observer started a span")
+	}
+	sp.End()
+	sp.Event("e")
+	o.Counter("x").Inc()
+	o.Histogram("x").Observe(1)
+	o.Gauge("x").Set(1)
+	if o.TraceOnly() != nil {
+		t.Fatal("nil observer TraceOnly not nil")
+	}
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 5, 9, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	if got, want := h.Sum(), 0.5+1.5+1.5+3+5+9+100; got != want {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	// The median sample is 3, so the estimate lands in the (2,4] bucket.
+	if q := h.Quantile(0.5); q <= 2 || q > 4 {
+		t.Fatalf("p50 = %g, want within (2,4]", q)
+	}
+	// Tail quantile in the +Inf bucket reports the last finite bound.
+	if q := h.Quantile(0.99); q != 8 {
+		t.Fatalf("p99 = %g, want 8 (lower bound of the +Inf bucket)", q)
+	}
+	if q := (&Histogram{}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %g", q)
+	}
+}
+
+func TestHistogramBucketsFromDescribe(t *testing.T) {
+	r := NewRegistry()
+	r.Describe("w", KindHistogram, "help", []float64{10, 20})
+	h := r.Histogram("w", nil) // registration's buckets win
+	h.Observe(15)
+	if q := h.Quantile(1); q > 20 {
+		t.Fatalf("observation escaped described buckets: %g", q)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gauge resolution of a counter family did not panic")
+		}
+	}()
+	r.Gauge("m")
+}
+
+// TestRegistryConcurrency hammers one registry from many goroutines —
+// concurrent resolution, updates, and scrapes — and checks totals. Run
+// under -race this is the registry's data-race lock (CI's race matrix).
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	Canonical(r)
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter(MLPPivots).Inc()
+				r.Gauge(MEpochCost).Set(float64(i))
+				r.Histogram(MStageWall, nil, L("stage", "lp-solve")).Observe(float64(i%10) / 1000)
+				if i%100 == 0 {
+					var sb strings.Builder
+					if err := r.WriteProm(&sb); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter(MLPPivots).Value(); got != workers*perWorker {
+		t.Fatalf("counter = %g, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram(MStageWall, nil, L("stage", "lp-solve")).Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestCanonicalIdempotentAndComplete(t *testing.T) {
+	r := NewRegistry()
+	Canonical(r)
+	Canonical(r)
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, f := range canonicalFamilies {
+		if !strings.Contains(out, "# TYPE "+f.Name+" ") {
+			t.Errorf("canonical family %s missing from exposition", f.Name)
+		}
+		if strings.Count(out, "# TYPE "+f.Name+" ") != 1 {
+			t.Errorf("family %s registered more than once", f.Name)
+		}
+	}
+}
+
+func TestReadAllocsMonotone(t *testing.T) {
+	b1, o1 := ReadAllocs()
+	sink := make([][]byte, 64)
+	for i := range sink {
+		sink[i] = make([]byte, 4096)
+	}
+	_ = sink
+	b2, o2 := ReadAllocs()
+	if b2 < b1 || o2 < o1 {
+		t.Fatalf("allocation counters went backwards: %d->%d bytes, %d->%d objects", b1, b2, o1, o2)
+	}
+	if b2-b1 < 64*4096/2 {
+		t.Fatalf("allocation delta %d bytes did not cover the %d we allocated", b2-b1, 64*4096)
+	}
+}

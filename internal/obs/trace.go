@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unicode/utf8"
+)
+
+// Attr is one key/value annotation on a span or event.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// A attaches a value to a key.
+func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// Tracer emits hierarchical spans as JSONL: one object per completed span,
+// events inlined, IDs linking children to parents. The per-span cost at End
+// is one reflection-free append-based encode into a buffer reused under the
+// tracer mutex, plus one Write — cheap enough that tracing a full epoch
+// costs microseconds (the overhead acceptance test in bench_test.go bounds
+// the end-to-end tax).
+//
+// The record schema (stable, documented in the README):
+//
+//	{"span":7,"parent":3,"name":"lp-solve","start_ns":123,"dur_ns":456,
+//	 "attrs":{"shard":2},
+//	 "events":[{"name":"refactorization","at_ns":200,"attrs":{"iteration":31}}]}
+//
+// start_ns/at_ns are monotonic nanoseconds since the tracer was created.
+type Tracer struct {
+	mu    sync.Mutex
+	w     io.Writer
+	buf   []byte
+	start time.Time
+	ids   atomic.Uint64
+	err   error
+}
+
+// NewTracer writes JSONL trace records to w.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w, start: time.Now()}
+}
+
+// Err returns the first write/encode error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Span is one timed region of the solve hierarchy. A span belongs to the
+// goroutine that started it: concurrent work gets concurrent child spans,
+// never shared ones. Nil spans no-op everywhere.
+type Span struct {
+	t       *Tracer
+	id      uint64
+	parent  uint64
+	name    string
+	attrs   []Attr
+	started time.Time
+	events  []spanEvent
+}
+
+// spanEvent buffers one Event until the span ends, attrs unconverted.
+type spanEvent struct {
+	name  string
+	atNS  int64
+	attrs []Attr
+}
+
+// Start opens a span under parent (nil parent = root). Nil tracers return
+// nil spans.
+func (t *Tracer) Start(parent *Span, name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{t: t, id: t.ids.Add(1), name: name, attrs: attrs, started: time.Now()}
+	if parent != nil {
+		sp.parent = parent.id
+	}
+	return sp
+}
+
+// Event records a point-in-time occurrence inside the span (a simplex
+// refactorization, an FT adoption). Buffered and emitted with the span.
+func (s *Span) Event(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.events = append(s.events, spanEvent{
+		name:  name,
+		atNS:  time.Since(s.t.start).Nanoseconds(),
+		attrs: attrs,
+	})
+}
+
+// End closes the span and emits its record.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.t
+	startNS := s.started.Sub(t.start).Nanoseconds()
+	durNS := time.Since(s.started).Nanoseconds()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	b := append(t.buf[:0], `{"span":`...)
+	b = strconv.AppendUint(b, s.id, 10)
+	if s.parent != 0 {
+		b = append(b, `,"parent":`...)
+		b = strconv.AppendUint(b, s.parent, 10)
+	}
+	b = append(b, `,"name":`...)
+	b = appendJSONString(b, s.name)
+	b = append(b, `,"start_ns":`...)
+	b = strconv.AppendInt(b, startNS, 10)
+	b = append(b, `,"dur_ns":`...)
+	b = strconv.AppendInt(b, durNS, 10)
+	b = appendAttrs(b, s.attrs)
+	if len(s.events) > 0 {
+		b = append(b, `,"events":[`...)
+		for i, e := range s.events {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, `{"name":`...)
+			b = appendJSONString(b, e.name)
+			b = append(b, `,"at_ns":`...)
+			b = strconv.AppendInt(b, e.atNS, 10)
+			b = appendAttrs(b, e.attrs)
+			b = append(b, '}')
+		}
+		b = append(b, ']')
+	}
+	b = append(b, '}', '\n')
+	t.buf = b
+	if _, err := t.w.Write(b); err != nil {
+		t.err = err
+	}
+}
+
+// appendAttrs appends `,"attrs":{...}` (nothing for an empty set).
+func appendAttrs(b []byte, attrs []Attr) []byte {
+	if len(attrs) == 0 {
+		return b
+	}
+	b = append(b, `,"attrs":{`...)
+	for i, a := range attrs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendJSONString(b, a.Key)
+		b = append(b, ':')
+		b = appendJSONValue(b, a.Value)
+	}
+	return append(b, '}')
+}
+
+// appendJSONValue encodes the attribute value types the solve stack uses
+// without reflection, deferring to encoding/json for anything else.
+func appendJSONValue(b []byte, v any) []byte {
+	switch v := v.(type) {
+	case string:
+		return appendJSONString(b, v)
+	case int:
+		return strconv.AppendInt(b, int64(v), 10)
+	case int64:
+		return strconv.AppendInt(b, v, 10)
+	case uint64:
+		return strconv.AppendUint(b, v, 10)
+	case bool:
+		return strconv.AppendBool(b, v)
+	case float64:
+		return strconv.AppendFloat(b, v, 'g', -1, 64)
+	default:
+		data, err := json.Marshal(v)
+		if err != nil {
+			return appendJSONString(b, fmt.Sprint(v))
+		}
+		return append(b, data...)
+	}
+}
+
+// appendJSONString quotes s, falling back to encoding/json for anything
+// beyond plain printable ASCII (span/stage names never are).
+func appendJSONString(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c == '"' || c == '\\' || c >= utf8.RuneSelf {
+			data, _ := json.Marshal(s)
+			return append(b, data...)
+		}
+	}
+	b = append(b, '"')
+	b = append(b, s...)
+	return append(b, '"')
+}
+
+// SpanRecord is the JSONL wire form of a completed span.
+type SpanRecord struct {
+	ID      uint64         `json:"span"`
+	Parent  uint64         `json:"parent,omitempty"`
+	Name    string         `json:"name"`
+	StartNS int64          `json:"start_ns"`
+	DurNS   int64          `json:"dur_ns"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+	Events  []EventRecord  `json:"events,omitempty"`
+}
+
+// EventRecord is one point event inside a span.
+type EventRecord struct {
+	Name  string         `json:"name"`
+	AtNS  int64          `json:"at_ns"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// ReadTrace parses a JSONL trace written by a Tracer. Unparseable lines
+// fail loudly — a trace is evidence, not best-effort logging.
+func ReadTrace(r io.Reader) ([]SpanRecord, error) {
+	var out []SpanRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	return out, nil
+}

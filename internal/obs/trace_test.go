@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTraceRoundTripAndHierarchy(t *testing.T) {
+	var buf strings.Builder
+	tr := NewTracer(&buf)
+	root := tr.Start(nil, "epoch", A("epoch", 3))
+	child := tr.Start(root, "lp-solve")
+	child.Event("refactorization", A("iteration", 12))
+	child.End()
+	root.End()
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ReadTrace(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	// Spans emit at End: child first, then root.
+	if recs[0].Name != "lp-solve" || recs[1].Name != "epoch" {
+		t.Fatalf("unexpected order: %s, %s", recs[0].Name, recs[1].Name)
+	}
+	if recs[0].Parent != recs[1].ID {
+		t.Fatalf("child parent %d != root id %d", recs[0].Parent, recs[1].ID)
+	}
+	if len(recs[0].Events) != 1 || recs[0].Events[0].Name != "refactorization" {
+		t.Fatalf("events lost: %+v", recs[0].Events)
+	}
+	if recs[0].Events[0].Attrs["iteration"] != 12.0 {
+		t.Fatalf("event attrs lost: %+v", recs[0].Events[0].Attrs)
+	}
+	if recs[1].Attrs["epoch"] != 3.0 {
+		t.Fatalf("span attrs lost: %+v", recs[1].Attrs)
+	}
+	if recs[0].DurNS < 0 || recs[0].StartNS < recs[1].StartNS {
+		t.Fatalf("child timing outside parent: %+v vs %+v", recs[0], recs[1])
+	}
+}
+
+// TestTracerConcurrentSpans emits sibling spans from concurrent goroutines
+// (the shard-solve shape); run under -race this locks the tracer's
+// goroutine safety.
+func TestTracerConcurrentSpans(t *testing.T) {
+	var buf strings.Builder
+	var mu sync.Mutex
+	w := lockedWriter{mu: &mu, b: &buf}
+	tr := NewTracer(w)
+	root := tr.Start(nil, "shard-solve")
+	var wg sync.WaitGroup
+	for s := 0; s < 8; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sp := tr.Start(root, "shard", A("shard", s))
+			sp.Event("solved")
+			sp.End()
+		}(s)
+	}
+	wg.Wait()
+	root.End()
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadTrace(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 9 {
+		t.Fatalf("got %d records, want 9", len(recs))
+	}
+}
+
+// lockedWriter guards the strings.Builder: the tracer serializes encodes
+// under its own mutex, but the test reads buf afterwards, and -race wants
+// an explicit happens-before with helper goroutines' writes.
+type lockedWriter struct {
+	mu *sync.Mutex
+	b  *strings.Builder
+}
+
+func (w lockedWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func TestFlameAggregation(t *testing.T) {
+	var buf strings.Builder
+	tr := NewTracer(&buf)
+	for epoch := 0; epoch < 3; epoch++ {
+		root := tr.Start(nil, "epoch", A("epoch", epoch))
+		for _, st := range []string{"lp-patch", "lp-solve", "round"} {
+			sp := tr.Start(root, st)
+			sp.End()
+		}
+		root.End()
+	}
+	recs, err := ReadTrace(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := Flame(recs)
+	if len(root.Children) != 1 || root.Children[0].Name != "epoch" {
+		t.Fatalf("flame roots: %+v", root.Children)
+	}
+	ep := root.Children[0]
+	if ep.Count != 3 {
+		t.Fatalf("epoch count = %d, want 3", ep.Count)
+	}
+	if len(ep.Children) != 3 {
+		t.Fatalf("epoch children = %d, want 3", len(ep.Children))
+	}
+	for _, c := range ep.Children {
+		if c.Count != 3 {
+			t.Fatalf("stage %s count = %d, want 3", c.Name, c.Count)
+		}
+	}
+	if ep.SelfNS() > ep.TotalNS {
+		t.Fatal("self exceeded total")
+	}
+	out := root.Render()
+	for _, want := range []string{"epoch", "lp-solve", "calls"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("{\"span\":1}\nnot json\n")); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+}

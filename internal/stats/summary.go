@@ -85,6 +85,19 @@ func Quantile(sorted []float64, q float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// Quantiles returns the q-quantiles of xs, sorting one private copy once
+// and interpolating every requested quantile from it (so xs need not be
+// pre-sorted and is not modified). An empty sample yields all zeros.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = Quantile(sorted, q)
+	}
+	return out
+}
+
 // MeanCI returns the mean of xs together with the half-width of an
 // approximate 95% confidence interval (normal approximation).
 func MeanCI(xs []float64) (mean, halfWidth float64) {
