@@ -49,6 +49,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/agg"
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/gen"
@@ -56,6 +57,7 @@ import (
 	"repro/internal/lp"
 	"repro/internal/lpmodel"
 	"repro/internal/netmodel"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -70,9 +72,22 @@ func main() {
 		monoProbe = flag.String("mono-probe", "", "internal: solve this instance monolithically and print JSON (subprocess mode)")
 		incrJSON  = flag.String("incrjson", "", "run the incremental-LP-rebuild sweep and write BENCH_incr.json here")
 		multiJSON = flag.String("multijson", "", "run the multi-stream accounting sweep (L6 workload) and write BENCH_multistream.json here")
-		benchDir  = flag.String("benchjson", "", "write every BENCH_*.json sweep (stages, incremental, multi-stream) into this directory — the CI artifact mode; honors -quick")
+		aggJSON   = flag.String("aggjson", "", "run the hierarchical-aggregation scaling sweep (10^4–10^6 viewers folded into weighted super-sinks) and write BENCH_agg.json here")
+		aggMax    = flag.Int("aggmax", 100_000, "viewer ceiling for the -aggjson sweep (set 1000000 for the full gated sweep)")
+		benchDir  = flag.String("benchjson", "", "write every BENCH_*.json sweep (stages, incremental, multi-stream, aggregation) into this directory — the CI artifact mode; honors -quick")
 	)
 	flag.Parse()
+	// Flag validation: malformed numeric requests are usage errors (exit 2),
+	// caught before any sweep starts burning minutes.
+	if *trials < 0 {
+		usage("-trials must be ≥ 0, got %d", *trials)
+	}
+	if *monoDL <= 0 {
+		usage("-monodeadline must be positive, got %v", *monoDL)
+	}
+	if *aggMax <= 0 {
+		usage("-aggmax must be positive, got %d", *aggMax)
+	}
 
 	if *monoProbe != "" {
 		runMonoProbe(*monoProbe)
@@ -94,6 +109,13 @@ func main() {
 	}
 	if *multiJSON != "" {
 		if err := multiSweep(*multiJSON, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "overlaybench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *aggJSON != "" {
+		if err := aggSweep(*aggJSON, *quick, *aggMax); err != nil {
 			fmt.Fprintf(os.Stderr, "overlaybench: %v\n", err)
 			os.Exit(1)
 		}
@@ -447,6 +469,268 @@ func multiSweep(outPath string, quick bool) error {
 	return nil
 }
 
+// aggRow is one viewer-population size of the BENCH_agg.json sweep.
+type aggRow struct {
+	Viewers    int `json:"viewers"`
+	Reflectors int `json:"reflectors"`
+	// Groups / AggUnits are the fold's output: weighted super-sinks and the
+	// demand units the LP actually solves over (= the LP's sink axis).
+	Groups   int `json:"agg_groups"`
+	AggUnits int `json:"agg_units"`
+	// The one-shot aggregated solve (devex defaults): fold, solve, unfold.
+	AggWallNS     int64   `json:"agg_wall_ns"`
+	AggCost       float64 `json:"agg_cost"`
+	CostPerViewer float64 `json:"agg_cost_per_viewer"`
+	AuditOK       bool    `json:"audit_ok"`
+	// The trusted unaggregated reference, solved only at sizes where the
+	// |R|·|D| monolithic LP is tractable; CostRatio = agg / flat is the
+	// aggregation overhead the equivalence harness pins at ≤ 1.05.
+	FlatWallNS int64   `json:"flat_wall_ns,omitempty"`
+	FlatCost   float64 `json:"flat_cost,omitempty"`
+	CostRatio  float64 `json:"cost_ratio,omitempty"`
+	// CostPerViewerVsRef pins the large sizes (where no flat solve exists)
+	// to the reference row: aggregated cost per viewer relative to the
+	// smallest size's, so drift at scale is visible in the artifact.
+	CostPerViewerVsRef float64 `json:"cost_per_viewer_vs_ref,omitempty"`
+	// The churn timeline: drop 1% → rejoin → weight-neutral swap →
+	// repricing, under the incremental session. MaxEpochWallNS is the
+	// slowest epoch; EpochWallOK says it stayed inside the budget.
+	Epochs         int   `json:"epochs"`
+	MaxEpochWallNS int64 `json:"max_epoch_wall_ns"`
+	EpochWallOK    bool  `json:"epoch_wall_ok"`
+	LPFreeEpochs   int   `json:"lp_free_epochs"`
+	WeightChanges  int   `json:"agg_weight_changes"`
+	Patches        int   `json:"lp_patches"`
+	// The devex-at-scale re-measure (the PR-6 follow-up) on the aggregate
+	// LP: pivots and wall under both pricing rules at this size.
+	DevexPivots   int   `json:"devex_pivots"`
+	DantzigPivots int   `json:"dantzig_pivots"`
+	DevexWallNS   int64 `json:"devex_wall_ns"`
+	DantzigWallNS int64 `json:"dantzig_wall_ns"`
+}
+
+// aggBench is the BENCH_agg.json schema.
+type aggBench struct {
+	Workload        string   `json:"workload"`
+	EpochWallBudget string   `json:"epoch_wall_budget"`
+	Rows            []aggRow `json:"rows"`
+	Generated       string   `json:"generated"`
+}
+
+// aggEpochWallBudget bounds every churn epoch of the -aggjson sweep: an
+// aggregated epoch at 10^5 viewers is a fold refresh plus a few-hundred-unit
+// LP, so two minutes is generous headroom, not a target. What matters is
+// that the bound holds FLAT as viewers scale — the aggregate LP's size
+// doesn't grow with V (the flat path forfeits outright past ~2000 sinks) —
+// and that the worst case, a repricing epoch that trips the devex-stall
+// recovery (a full extra cold solve), still fits on a contended CI core.
+const aggEpochWallBudget = 120 * time.Second
+
+// aggAnchors mirrors internal/agg's default grouping (each viewer labeled by
+// the reflector serving it cheapest, ties to the lowest index) so the sweep
+// can construct churn that is provably intra-aggregate. Computed on the
+// pristine instance — the fold's membership is fixed at build time.
+func aggAnchors(in *netmodel.Instance) []int {
+	_, R, _ := in.Dims()
+	units := in.ViewerUnits()
+	out := make([]int, len(units))
+	for g, us := range units {
+		best, bestC := 0, math.Inf(1)
+		for i := 0; i < R; i++ {
+			c := 0.0
+			for _, j := range us {
+				c += in.RefSinkCost[i][j]
+			}
+			if c < bestC {
+				best, bestC = i, c
+			}
+		}
+		out[g] = best
+	}
+	return out
+}
+
+// aggSweep scales the hierarchical aggregation to production viewer counts:
+// each size folds a clustered footprint into weighted super-sinks, solves
+// one-shot (against the unaggregated reference where that LP is tractable),
+// then drives a short churn timeline through the incremental session —
+// including the weight-neutral swap that must solve LP-free — and re-measures
+// devex vs dantzig pricing on the aggregate LP. maxViewers gates the top
+// sizes: 10^5 is the default sweep, 10^6 the opt-in full footprint.
+func aggSweep(outPath string, quick bool, maxViewers int) error {
+	const regions, isps = 10, 5
+	const flatRefViewers = 250 // largest size the monolithic flat LP solves fast
+	sizes := []int{flatRefViewers, 1_000, 10_000, 100_000, 1_000_000}
+	if quick {
+		sizes = []int{flatRefViewers, 1_000, 10_000}
+	}
+	bench := aggBench{
+		Workload: fmt.Sprintf(
+			"gen.Clustered sources=2 regions=%d isps=%d (colors stripped), anchor-grouped aggregation, seed 7; churn: drop 1%% → rejoin → weight-neutral swap → repricing",
+			regions, isps),
+		EpochWallBudget: aggEpochWallBudget.String(),
+		Generated:       time.Now().UTC().Format(time.RFC3339),
+	}
+	refCPV := 0.0
+	for _, viewers := range sizes {
+		if viewers > maxViewers && viewers != flatRefViewers {
+			fmt.Printf("V=%d: skipped (over -aggmax %d)\n", viewers, maxViewers)
+			continue
+		}
+		in := gen.Clustered(gen.DefaultClustered(2, regions, isps, viewers/regions), 7)
+		// Colors stripped, matching the -shardjson scaling workload: the
+		// per-color covering rows multiply LP size without changing what this
+		// sweep measures (the fold, not the color constraints).
+		in.Color = nil
+		in.NumColors = 0
+		row := aggRow{Viewers: in.NumViewers(), Reflectors: in.NumReflectors, EpochWallOK: true}
+
+		// One-shot aggregated solve, registry attached so the fold's shape
+		// comes from the same overlay_agg_* gauges CI scrapes.
+		reg := obs.NewRegistry()
+		opts := core.DefaultOptions(1)
+		opts.Aggregate = &agg.Config{}
+		opts.Obs = &obs.Observer{Reg: reg}
+		start := time.Now()
+		res, err := core.Solve(in.Clone(), opts)
+		if err != nil {
+			return fmt.Errorf("aggregated V=%d: %w", viewers, err)
+		}
+		row.AggWallNS = time.Since(start).Nanoseconds()
+		row.AggCost = res.Audit.Cost
+		row.CostPerViewer = res.Audit.Cost / float64(viewers)
+		row.AuditOK = res.AuditOK()
+		row.DevexPivots = res.Timings.LPPivots
+		row.DevexWallNS = row.AggWallNS
+		row.Groups = int(reg.Gauge(obs.MAggGroups).Value())
+		row.AggUnits = int(reg.Gauge(obs.MAggUnits).Value())
+		if viewers == flatRefViewers {
+			fopts := core.DefaultOptions(1)
+			start = time.Now()
+			flat, err := core.Solve(in.Clone(), fopts)
+			if err != nil {
+				return fmt.Errorf("flat V=%d: %w", viewers, err)
+			}
+			row.FlatWallNS = time.Since(start).Nanoseconds()
+			row.FlatCost = flat.Audit.Cost
+			row.CostRatio = row.AggCost / flat.Audit.Cost
+			refCPV = row.CostPerViewer
+		} else if refCPV > 0 {
+			row.CostPerViewerVsRef = row.CostPerViewer / refCPV
+		}
+
+		// Dantzig re-measure of the same aggregate LP (the PR-6 follow-up:
+		// does devex still pay once aggregation shrinks the sink axis?).
+		dopts := core.DefaultOptions(1)
+		dopts.Aggregate = &agg.Config{}
+		dopts.Pricing = lp.DantzigPricing
+		start = time.Now()
+		dres, err := core.Solve(in.Clone(), dopts)
+		if err != nil {
+			return fmt.Errorf("aggregated dantzig V=%d: %w", viewers, err)
+		}
+		row.DantzigWallNS = time.Since(start).Nanoseconds()
+		row.DantzigPivots = dres.Timings.LPPivots
+
+		// The churn timeline. Membership is fixed at the session's first
+		// Step, so the swap pair is chosen on the pristine instance.
+		anchors := aggAnchors(in)
+		G := in.NumViewers()
+		const stride = 100 // every 100th viewer churns: a 1% storm
+		var sample []int
+		for g := 0; g < G; g += stride {
+			sample = append(sample, g)
+		}
+		thr0 := append([]float64(nil), in.Threshold...)
+		// b leaves in the storm and stays out; a is an active viewer of the
+		// same aggregate — same anchor AND same stream (the aggregate key is
+		// the (group, slot-set) pair).
+		b, a := sample[0], -1
+		for g := 0; g < G; g++ {
+			if g != b && g%stride != 0 && anchors[g] == anchors[b] && in.Commodity[g] == in.Commodity[b] {
+				a = g
+				break
+			}
+		}
+		sreg := obs.NewRegistry()
+		sopts := core.DefaultOptions(7)
+		sopts.Aggregate = &agg.Config{}
+		sopts.IncrementalLP = true
+		sopts.Obs = &obs.Observer{Reg: sreg}
+		sess := core.NewSession(sopts, 0, true)
+		epoch := func(d *netmodel.Delta) error {
+			if d != nil {
+				ds, err := d.Apply(in)
+				if err != nil {
+					return err
+				}
+				sess.Observe(ds)
+			}
+			start := time.Now()
+			r, err := sess.Step(in)
+			if err != nil {
+				return err
+			}
+			wall := time.Since(start).Nanoseconds()
+			if wall > row.MaxEpochWallNS {
+				row.MaxEpochWallNS = wall
+			}
+			if r.Patch != nil {
+				row.Patches += r.Patch.Patches()
+			}
+			row.Epochs++
+			return nil
+		}
+		drop := &netmodel.Delta{Note: "churn storm: 1% leave"}
+		rejoin := &netmodel.Delta{Note: "storm viewers rejoin"}
+		for _, g := range sample {
+			drop.SetThreshold = append(drop.SetThreshold, netmodel.SinkValue{Sink: g, Value: 0})
+			if g != b {
+				rejoin.SetThreshold = append(rejoin.SetThreshold, netmodel.SinkValue{Sink: g, Value: thr0[g]})
+			}
+		}
+		deltas := []*netmodel.Delta{nil, drop, rejoin}
+		if a >= 0 {
+			deltas = append(deltas, &netmodel.Delta{Note: "weight-neutral intra-aggregate swap",
+				SetThreshold: []netmodel.SinkValue{{Sink: a, Value: 0}, {Sink: b, Value: in.Threshold[a]}}})
+		}
+		deltas = append(deltas, &netmodel.Delta{Note: "reflector repricing",
+			ScaleReflectorCost: []netmodel.RefValue{{Ref: 0, Value: 1.05}},
+			ScaleRefSinkCost:   []netmodel.ArcValue{{A: 1, B: 0, Value: 1.1}}})
+		for _, d := range deltas {
+			if err := epoch(d); err != nil {
+				return fmt.Errorf("churn epoch V=%d: %w", viewers, err)
+			}
+		}
+		row.EpochWallOK = row.MaxEpochWallNS <= aggEpochWallBudget.Nanoseconds()
+		row.LPFreeEpochs = int(sreg.Counter(obs.MAggLPFreeEpochs).Value())
+		row.WeightChanges = int(sreg.Counter(obs.MAggWeightChanges).Value())
+
+		fmt.Printf("V=%d: %d groups / %d units | agg %v cost %.1f (auditOK=%v)",
+			viewers, row.Groups, row.AggUnits,
+			time.Duration(row.AggWallNS).Round(time.Millisecond), row.AggCost, row.AuditOK)
+		if row.CostRatio > 0 {
+			fmt.Printf(" | flat %v (ratio %.3fx)",
+				time.Duration(row.FlatWallNS).Round(time.Millisecond), row.CostRatio)
+		} else if row.CostPerViewerVsRef > 0 {
+			fmt.Printf(" | cost/viewer %.3fx of reference", row.CostPerViewerVsRef)
+		}
+		fmt.Printf(" | churn max epoch %v (ok=%v), %d lp-free, %d patches | pivots devex %d vs dantzig %d\n",
+			time.Duration(row.MaxEpochWallNS).Round(time.Millisecond), row.EpochWallOK,
+			row.LPFreeEpochs, row.Patches, row.DevexPivots, row.DantzigPivots)
+		bench.Rows = append(bench.Rows, row)
+	}
+	data, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote aggregation sweep to %s\n", outPath)
+	return nil
+}
+
 // benchArtifacts is the CI artifact mode: every BENCH_*.json sweep written
 // into one directory, so bench trajectories are reproducible from any CI
 // run's artifacts.
@@ -463,7 +747,23 @@ func benchArtifacts(dir string, quick bool) error {
 	if err := multiSweep(filepath.Join(dir, "BENCH_multistream.json"), quick); err != nil {
 		return fmt.Errorf("multistream: %w", err)
 	}
+	aggCeil := 100_000
+	if quick {
+		aggCeil = 10_000
+	}
+	if err := aggSweep(filepath.Join(dir, "BENCH_agg.json"), quick, aggCeil); err != nil {
+		return fmt.Errorf("agg: %w", err)
+	}
 	return nil
+}
+
+// usage reports a flag-validation failure as a usage error: the message plus
+// the flag summary on stderr, exit code 2 (the flag package's own code for
+// malformed command lines).
+func usage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "overlaybench: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 // monoProbeOut is the subprocess protocol of -mono-probe: one JSON object

@@ -52,6 +52,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/agg"
 	"repro/internal/live"
 	"repro/internal/lp"
 	"repro/internal/obs"
@@ -79,6 +80,7 @@ func main() {
 		policy     = flag.String("policy", "both", "re-provisioning policy: cold|warm|both")
 		stickiness = flag.Float64("stickiness", 0.4, "deployed-design cost discount for the warm policy, in [0,1)")
 		shards     = flag.Int("shards", 0, "≥2: sharded per-epoch solves with per-shard warm state (internal/shard)")
+		aggr       = flag.Bool("aggregate", false, "fold viewers into weighted super-sinks before every epoch's LP (internal/agg)")
 		simPkts    = flag.Int("sim", 0, "packets per simulated epoch (0 = no packet sim)")
 		simEvery   = flag.Int("simevery", 1, "simulate every n-th epoch")
 		jsonPath   = flag.String("json", "", "write the full report as JSON to this file")
@@ -97,6 +99,24 @@ func main() {
 		hold       = flag.Duration("hold", 0, "keep the -listen server up this long after the timeline finishes")
 	)
 	flag.Parse()
+	// Flag validation: malformed requests are usage errors (exit 2), caught
+	// before any file or socket is touched. -epochs is only checked when it
+	// is actually used — -replay ignores it by documented contract.
+	if *replay == "" && *epochs <= 0 {
+		usage("-epochs must be positive, got %d", *epochs)
+	}
+	if *shards < 0 {
+		usage("-shards must be ≥ 0, got %d", *shards)
+	}
+	if *refEv < 0 {
+		usage("-refactor-every must be ≥ 0, got %d", *refEv)
+	}
+	if *pace < 0 || *hold < 0 {
+		usage("-pace and -hold must be ≥ 0")
+	}
+	if *listen == "" && (*pace > 0 || *hold > 0) {
+		usage("-pace/-hold only make sense with -listen (they exist to keep the telemetry endpoint scrapeable)")
+	}
 	pr, err := parsePricing(*pricing)
 	if err != nil {
 		fatal(err)
@@ -151,6 +171,9 @@ func main() {
 	cfg.Solver.Shards = *shards
 	cfg.Solver.Pricing = pr
 	cfg.Solver.RefactorEvery = *refEv
+	if *aggr {
+		cfg.Solver.Aggregate = &agg.Config{}
+	}
 
 	// Observability surfaces. The registry backs -listen's /metrics; the
 	// tracer backs -trace/-flame. Both are nil (and the run byte-identical
@@ -397,4 +420,13 @@ func yesNo(b bool) string {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "overlaylive: %v\n", err)
 	os.Exit(1)
+}
+
+// usage reports a flag-validation failure as a usage error: the message plus
+// the flag summary on stderr, exit code 2 (the flag package's own code for
+// malformed command lines).
+func usage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "overlaylive: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }

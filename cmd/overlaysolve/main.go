@@ -24,6 +24,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/agg"
 	"repro/internal/bnb"
 	"repro/internal/core"
 	"repro/internal/greedy"
@@ -58,6 +59,7 @@ func main() {
 		prior   = flag.String("prior", "", "prior design JSON for churn-aware re-solve (§1.3)")
 		sticky  = flag.Float64("stickiness", 0.5, "cost discount on prior arcs during re-solve, in [0,1)")
 		shards  = flag.Int("shards", 0, "≥2: solve one LP per commodity-region shard in parallel (internal/shard)")
+		aggr    = flag.Bool("aggregate", false, "fold viewers into weighted super-sinks before the LP and disaggregate after (internal/agg)")
 		jsonOut = flag.String("json", "", "write a machine-readable solve report (stages, audit, shard counters) here")
 		stages  = flag.Bool("stages", false, "print the per-stage pipeline instrumentation (lp-build/lp-patch/lp-solve/... wall and run counts)")
 		pricing = flag.String("pricing", "devex", "simplex pricing rule: devex|dantzig|partial")
@@ -77,6 +79,18 @@ func main() {
 	}
 	if *jsonOut != "" && (*useG || *useX || *lpOnly) {
 		fmt.Fprintln(os.Stderr, "overlaysolve: -json requires a full LP-rounding solve (not -greedy/-exact/-lp-only)")
+		os.Exit(2)
+	}
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "overlaysolve: -shards %d is negative (want 0, or ≥ 2 to shard)\n", *shards)
+		os.Exit(2)
+	}
+	if *refEv < 0 {
+		fmt.Fprintf(os.Stderr, "overlaysolve: -refactor-every %d is negative (want 0 = auto, or a pivot cadence)\n", *refEv)
+		os.Exit(2)
+	}
+	if *aggr && (*useG || *useX) {
+		fmt.Fprintln(os.Stderr, "overlaysolve: -aggregate requires the LP pipeline (not -greedy/-exact)")
 		os.Exit(2)
 	}
 	if *trace != "" && (*useG || *useX) {
@@ -118,6 +132,9 @@ func main() {
 		opts.LPOnly = *lpOnly
 		opts.RepairCoverage = *repair
 		opts.Shards = *shards
+		if *aggr {
+			opts.Aggregate = &agg.Config{}
+		}
 		opts.Pricing = pr
 		opts.RefactorEvery = *refEv
 		// A trace-only observer: spans for every pipeline stage, per-shard

@@ -18,6 +18,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/agg"
 	"repro/internal/gapflow"
 	"repro/internal/lp"
 	"repro/internal/lpmodel"
@@ -107,6 +108,17 @@ type Options struct {
 	// coordination) fed once per top-level Solve. A nil Obs costs one nil
 	// check per site and leaves the solve byte-identical.
 	Obs *obs.Observer
+	// Aggregate, when non-nil, folds the instance's viewers into weighted
+	// super-sinks keyed by (group, stream-slot set) before the pipeline
+	// runs (internal/agg), solves the LP over the aggregates — whose count
+	// depends on the network's region/ISP structure, not the viewer
+	// population — and disaggregates the result back to real viewers with a
+	// deterministic sticky pass. The pipeline gains an aggregate stage up
+	// front and a disaggregate stage (which re-audits against the true
+	// instance) at the end. Inside a Session the aggregation state persists
+	// across epochs and the delta flow is folded through it, so
+	// weight-neutral churn solves LP-free.
+	Aggregate *agg.Config
 	// IncrementalLP enables the delta-driven incremental LP rebuild inside
 	// a Session: a persistent lpmodel.Patcher (one per shard when Shards ≥
 	// 2) carries the built lp.Problem across epochs and patches only the
@@ -379,9 +391,12 @@ func Solve(in *netmodel.Instance, opts Options) (*Result, error) {
 	// shard-atomic); LPOnly wants the monolithic fractional optimum.
 	var res *Result
 	var err error
-	if opts.Shards >= 2 && in.NumViewers() >= 2 && !opts.LPOnly {
+	switch {
+	case opts.Aggregate != nil:
+		res, err = solveAggregated(in, opts)
+	case opts.Shards >= 2 && in.NumViewers() >= 2 && !opts.LPOnly:
 		res, err = solveSharded(in, opts)
-	} else {
+	default:
 		res, err = solveMono(in, opts)
 	}
 	if err == nil {
@@ -506,10 +521,13 @@ func (r *Result) AuditOK() bool {
 
 // usePathRounding reports whether the §6.5 path rounding replaces the §5
 // GAP stage: forced by options, or required by color / edge-capacity
-// extensions. Both the monolithic and the sharded pipeline key the audit
-// guarantee variant off this single predicate.
+// extensions, or by per-unit weights (the GAP flow network counts every
+// served sink as one integral capacity unit, so a weighted aggregate would
+// overpack reflector fanout; the path LP carries real unit loads). Both the
+// monolithic and the sharded pipeline key the audit guarantee variant off
+// this single predicate.
 func usePathRounding(in *netmodel.Instance, opts Options) bool {
-	return opts.ForcePathRounding || in.Color != nil || in.EdgeCap != nil
+	return opts.ForcePathRounding || in.Color != nil || in.EdgeCap != nil || in.Weighted()
 }
 
 // MeetsGuarantee checks the paper's end-to-end bounds: every sink keeps at

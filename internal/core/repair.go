@@ -55,7 +55,7 @@ func RepairCoverage(in *netmodel.Instance, d *netmodel.Design, maxFanoutFactor f
 				continue
 			}
 			k := in.Commodity[j]
-			bw := in.StreamBandwidth(k)
+			bw := in.UnitLoad(j)
 			for i := 0; i < R; i++ {
 				if d.Serve[i][j] || !in.ArcAllowed(i, j) {
 					continue
@@ -96,7 +96,7 @@ func RepairCoverage(in *netmodel.Instance, d *netmodel.Design, maxFanoutFactor f
 		d.Serve[bestI][bestJ] = true
 		d.Ingest[k][bestI] = true
 		d.Build[bestI] = true
-		fanUse[bestI] += in.StreamBandwidth(k)
+		fanUse[bestI] += in.UnitLoad(bestJ)
 		deficit[bestJ] -= math.Min(in.CappedWeight(bestI, bestJ), deficit[bestJ])
 		if in.Color != nil {
 			colorUsed[[2]int{bestJ, in.Color[bestI]}] = true

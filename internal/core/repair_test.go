@@ -22,12 +22,14 @@ func TestRepairReachesFullDemand(t *testing.T) {
 			// verify that is actually the case (no admissible arc
 			// remains for the worst sink).
 			j := a.WorstSink
-			k := in.Commodity[j]
 			for i := 0; i < in.NumReflectors; i++ {
 				if res.Design.Serve[i][j] || !in.ArcAllowed(i, j) {
 					continue
 				}
-				if res.Design.FanoutUse(in, i)+in.StreamBandwidth(k) > 4*in.Fanout[i] {
+				// Mirror repair.go's admissibility: the arc adds the unit's
+				// full LOAD (weight × stream bandwidth), not the bare stream
+				// bandwidth — the two differ on weighted (aggregated) units.
+				if res.Design.FanoutUse(in, i)+in.UnitLoad(j) > 4*in.Fanout[i] {
 					continue
 				}
 				if in.CappedWeight(i, j) <= 1e-12 {

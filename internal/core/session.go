@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+
+	"repro/internal/agg"
 	"repro/internal/lp"
 	"repro/internal/lpmodel"
 	"repro/internal/netmodel"
@@ -51,6 +54,15 @@ type Session struct {
 	patcher  *lpmodel.Patcher
 	pending  *netmodel.DirtySet
 	lastBias *netmodel.Design
+
+	// aggState / aggPrior are the aggregation plane (Options.Aggregate):
+	// the persistent viewer→super-sink fold, built lazily on the first
+	// Step, and the previously deployed AGGREGATE design — the plane the
+	// stickiness bias, the warm basis, the shard state and the Patcher all
+	// live on. s.prior stays the TRUE design: churn and the deployed view
+	// are always reported against real viewers.
+	aggState *agg.State
+	aggPrior *netmodel.Design
 }
 
 // NewSession returns a fresh session; the first Step is a cold solve.
@@ -81,8 +93,12 @@ func (s *Session) SetObserver(o *obs.Observer) { s.opts.Obs = o }
 // dirty set (typically the return of netmodel.Delta.Apply). The accumulated
 // set drives the next Step's lp-patch stage; without IncrementalLP it is a
 // no-op. Observing a superset of the real changes is always safe.
+// Under Options.Aggregate the dirty sets additionally keep the persistent
+// aggregation in sync, so reporting them is required there regardless of
+// IncrementalLP — an unreported mutation would leave the aggregate instance
+// summarizing stale member state.
 func (s *Session) Observe(ds *netmodel.DirtySet) {
-	if !s.opts.IncrementalLP || ds.Empty() {
+	if (!s.opts.IncrementalLP && s.opts.Aggregate == nil) || ds.Empty() {
 		return
 	}
 	if s.pending == nil {
@@ -96,6 +112,9 @@ func (s *Session) Observe(ds *netmodel.DirtySet) {
 // under IncrementalLP) — and deploys the result. The returned churn counts
 // compare against the previous epoch's design.
 func (s *Session) Step(in *netmodel.Instance) (*ReoptimizeResult, error) {
+	if s.opts.Aggregate != nil {
+		return s.stepAggregated(in)
+	}
 	opts := s.opts
 	if s.WarmStart {
 		opts.WarmStart = s.basis
@@ -143,6 +162,120 @@ func (s *Session) Step(in *netmodel.Instance) (*ReoptimizeResult, error) {
 		return nil, err
 	}
 	s.prior = res.Design
+	s.basis = res.WarmStartBasis()
+	s.shardState = res.ShardState
+	s.steps++
+	return res, nil
+}
+
+// stepAggregated is Step on the aggregation plane (Options.Aggregate): the
+// epoch's accumulated dirty sets are folded through the persistent
+// viewer→super-sink state, the ordinary re-optimization — stickiness bias,
+// warm basis, shard state, incremental Patcher — runs entirely over the
+// aggregate instance, and the solved aggregate design is disaggregated back
+// to real viewers, sticky to the previous TRUE deployment. Churn and the
+// audit are reported against the true instance; the aggregate / disaggregate
+// stage walls bracket the inner pipeline's in Result.Stages.
+func (s *Session) stepAggregated(in *netmodel.Instance) (*ReoptimizeResult, error) {
+	tracker := newStageTracker(s.opts.StageMemStats, s.opts.Obs)
+	ps := &pipelineState{in: in, opts: s.opts}
+
+	var aggDirty *netmodel.DirtySet
+	if err := tracker.run(Stage{Name: "aggregate", Run: func(*pipelineState) error {
+		pending := s.pending
+		s.pending = nil
+		if s.aggState == nil {
+			// First epoch: Build summarizes the instance's current state
+			// directly, so dirt accumulated before it is already folded in.
+			st, err := agg.Build(in, *s.opts.Aggregate)
+			if err != nil {
+				return err
+			}
+			s.aggState = st
+			aggDirty = &netmodel.DirtySet{}
+			return nil
+		}
+		aggDirty = s.aggState.Sync(in, pending)
+		return nil
+	}}, ps); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	recordAggShape(s.opts.Obs, s.aggState)
+
+	opts := s.opts
+	opts.Aggregate = nil
+	if s.WarmStart {
+		opts.WarmStart = s.basis
+		opts.ShardState = s.shardState
+	} else {
+		opts.WarmStart = nil
+		opts.ShardState = nil
+	}
+	lpFree := false
+	if opts.IncrementalLP {
+		dirty := aggDirty
+		var bias *netmodel.Design
+		if s.Stickiness > 0 {
+			bias = s.aggPrior
+		}
+		if flips := netmodel.DiffDesigns(s.lastBias, bias); flips != nil {
+			opts.Obs.Counter(obs.MBiasFlips).Add(float64(flips.Size()))
+			dirty.Merge(flips)
+		}
+		s.lastBias = bias
+		opts.patcher = s.patcher
+		opts.patchDirty = dirty
+		lpFree = s.steps > 0 && dirty.Empty()
+	}
+	if o := s.opts.Obs; o != nil && o.Reg != nil {
+		o.Counter(obs.MAggWeightChanges).Add(float64(len(aggDirty.SinkWeight)))
+		if lpFree {
+			o.Counter(obs.MAggLPFreeEpochs).Inc()
+		}
+	}
+	opts.Seed = s.opts.Seed + uint64(s.steps)*0xbf58476d1ce4e5b9
+
+	res, err := Reoptimize(s.aggState.Agg, s.aggPrior, s.Stickiness, opts)
+	if err != nil {
+		return nil, err
+	}
+	aggDesign := res.Design
+
+	if err := tracker.run(Stage{Name: "disaggregate", Run: func(*pipelineState) error {
+		res.Design = s.aggState.Disaggregate(in, aggDesign, s.prior)
+		res.Audit = netmodel.AuditDesign(in, res.Design)
+		return nil
+	}}, ps); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	// Churn against the previous TRUE deployment (the aggregate plane's
+	// churn numbers from Reoptimize describe super-sinks, not viewers).
+	res.ArcChurn, res.ReflectorChurn = 0, 0
+	if s.prior != nil {
+		for i := range s.prior.Serve {
+			if s.prior.Build[i] != res.Design.Build[i] {
+				res.ReflectorChurn++
+			}
+			for j := range s.prior.Serve[i] {
+				if s.prior.Serve[i][j] != res.Design.Serve[i][j] {
+					res.ArcChurn++
+				}
+			}
+		}
+		res.ViewerChurn, res.StreamChurn = netmodel.ViewerChurn(in, s.prior, res.Design)
+	} else {
+		res.ViewerChurn, res.StreamChurn = 0, 0
+	}
+
+	stages := make([]StageStats, 0, len(res.Stages)+2)
+	stages = append(stages, tracker.stats[0])
+	stages = append(stages, res.Stages...)
+	stages = append(stages, tracker.stats[1])
+	res.Stages = stages
+
+	s.prior = res.Design
+	s.aggPrior = aggDesign
 	s.basis = res.WarmStartBasis()
 	s.shardState = res.ShardState
 	s.steps++

@@ -221,6 +221,9 @@ func routeDirty(ds *netmodel.DirtySet, sinks [][]int, numSinks int) []*netmodel.
 	for _, j := range ds.SinkDemand {
 		at(owner[j]).SinkDemand = append(at(owner[j]).SinkDemand, local[j])
 	}
+	for _, j := range ds.SinkWeight {
+		at(owner[j]).SinkWeight = append(at(owner[j]).SinkWeight, local[j])
+	}
 	for _, a := range ds.RefSinkCost {
 		at(owner[a.B]).RefSinkCost = append(at(owner[a.B]).RefSinkCost, netmodel.Arc{A: a.A, B: local[a.B]})
 	}

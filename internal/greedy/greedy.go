@@ -55,7 +55,7 @@ func Greedy(in *netmodel.Instance) *Result {
 				continue
 			}
 			k := in.Commodity[j]
-			bw := in.StreamBandwidth(k)
+			bw := in.UnitLoad(j)
 			for i := 0; i < R; i++ {
 				if d.Serve[i][j] || fanoutLeft[i] < bw {
 					continue
@@ -91,7 +91,7 @@ func Greedy(in *netmodel.Instance) *Result {
 		d.Serve[bestI][bestJ] = true
 		d.Ingest[k][bestI] = true
 		d.Build[bestI] = true
-		fanoutLeft[bestI] -= in.StreamBandwidth(k)
+		fanoutLeft[bestI] -= in.UnitLoad(bestJ)
 		deficit[bestJ] -= bestGain
 		if in.Color != nil {
 			colorUsed[[2]int{bestJ, in.Color[bestI]}] = true
@@ -121,7 +121,7 @@ func Random(in *netmodel.Instance, seed uint64) *Result {
 		}
 		demanding++
 		k := in.Commodity[j]
-		bw := in.StreamBandwidth(k)
+		bw := in.UnitLoad(j)
 		deficit := in.Demand(j)
 		colorUsed := make(map[int]bool)
 		for _, i := range rng.Perm(R) {

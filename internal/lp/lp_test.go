@@ -437,6 +437,81 @@ func TestIterationLimit(t *testing.T) {
 	}
 }
 
+// TestIterationLimitNoRetry locks the recovery-ladder guard: IterLimit from
+// a genuinely exhausted pivot budget must be returned as-is, without the
+// alternate-pricing re-solve (that rung is for numerical breakdowns that
+// stop LONG before the budget — re-burning the whole budget on a second
+// pricing rule would double every deliberately budget-capped solve).
+func TestIterationLimitNoRetry(t *testing.T) {
+	const n = 12
+	p := NewProblem(n)
+	for j := 0; j < n; j++ {
+		p.SetObjectiveCoef(j, -1-0.01*float64(j))
+		p.SetBounds(j, 0, 1)
+		p.AddConstraint(LE, 0.75, Coef{j, 1})
+	}
+	full, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Status != Optimal || full.Iterations <= 4 {
+		t.Fatalf("want a multi-pivot optimal baseline, got %v after %d iters", full.Status, full.Iterations)
+	}
+	const budget = 2
+	sol, err := p.SolveOpts(Options{MaxIters: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != IterLimit {
+		t.Fatalf("status = %v, want iteration-limit", sol.Status)
+	}
+	if sol.Iterations > budget {
+		t.Fatalf("spent %d pivots on a %d-pivot budget — the exhausted solve must not retry", sol.Iterations, budget)
+	}
+}
+
+// TestRowEquilibratedCloneSameLP locks the exactness of the last recovery
+// rung: dividing each row by its largest coefficient is the SAME linear
+// program, so the clone's optimum must satisfy the original rows and reach
+// the original objective. The badly scaled rows here mirror the aggregate
+// LPs that need the rung (O(10^3) unit loads against O(10) fanouts).
+func TestRowEquilibratedCloneSameLP(t *testing.T) {
+	rng := stats.NewRNG(17)
+	p := NewProblem(8)
+	for j := 0; j < 8; j++ {
+		p.SetObjectiveCoef(j, rng.Range(1, 3))
+		p.SetBounds(j, 0, 50)
+	}
+	for r := 0; r < 6; r++ {
+		coefs := make([]Coef, 0, 4)
+		for j := r % 3; j < 8; j += 3 {
+			scale := 1.0
+			if j%2 == 0 {
+				scale = 1745 // an aggregate-sized unit load
+			}
+			coefs = append(coefs, Coef{j, scale * rng.Range(0.5, 2)})
+		}
+		p.AddConstraint(GE, 1745*rng.Range(1, 4), coefs...)
+	}
+	want, err := p.Solve()
+	if err != nil || want.Status != Optimal {
+		t.Fatalf("original solve: %v / %v", err, want)
+	}
+	q := p.rowEquilibratedClone()
+	got, err := q.Solve()
+	if err != nil || got.Status != Optimal {
+		t.Fatalf("clone solve: %v / %v", err, got)
+	}
+	if math.Abs(got.Objective-want.Objective) > 1e-6*(1+math.Abs(want.Objective)) {
+		t.Fatalf("clone optimum %g != original %g", got.Objective, want.Objective)
+	}
+	// The clone's solution vector is a solution of the ORIGINAL problem —
+	// row scaling never touches the variables.
+	if err := p.CheckFeasible(got.X, 1e-6); err != nil {
+		t.Fatalf("clone optimum infeasible for the original rows: %v", err)
+	}
+}
+
 func TestSolutionStatusString(t *testing.T) {
 	for s, want := range map[Status]string{Optimal: "optimal", Infeasible: "infeasible", Unbounded: "unbounded", IterLimit: "iteration-limit"} {
 		if s.String() != want {

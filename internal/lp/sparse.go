@@ -1404,10 +1404,51 @@ func (s *sparse) snapshotBasis() *Basis {
 	return b
 }
 
+// rowEquilibratedClone returns a copy of p with every constraint row divided
+// by its largest absolute coefficient. That is the SAME linear program — the
+// variables, bounds, objective, feasible set, and optimal vertices are all
+// untouched, only the rows' numerical representation changes — so a solution
+// of the clone is a solution of p verbatim. What it buys is conditioning:
+// rows that mix O(10^3) aggregate unit loads with O(10) fanout coefficients
+// feed the eta file pivots of wildly different magnitude, and the
+// accumulated error eventually presents as a singular basis or a failed
+// ratio test under EVERY pricing rule.
+func (p *Problem) rowEquilibratedClone() *Problem {
+	q := &Problem{
+		n:    p.n,
+		obj:  append([]float64(nil), p.obj...),
+		lo:   append([]float64(nil), p.lo...),
+		hi:   append([]float64(nil), p.hi...),
+		rows: make([]row, len(p.rows)),
+	}
+	for r, rw := range p.rows {
+		s := 0.0
+		for _, c := range rw.coefs {
+			if a := math.Abs(c.Val); a > s {
+				s = a
+			}
+		}
+		if s == 0 {
+			s = 1
+		}
+		coefs := make([]Coef, len(rw.coefs))
+		for i, c := range rw.coefs {
+			coefs[i] = Coef{Var: c.Var, Val: c.Val / s}
+		}
+		q.rows[r] = row{coefs: coefs, rel: rw.rel, rhs: rw.rhs / s}
+	}
+	return q
+}
+
 // solveSparse orchestrates the sparse solver with a recovery ladder: warm
 // start (when offered and usable) → cold solve → cold solve with a tight
 // refactorization cadence → dense reference solver. Every claimed optimum
-// is audited against the original rows before being returned.
+// is audited against the original rows before being returned. A cold solve
+// that breaks down numerically long before its pivot budget (singular basis,
+// failed ratio test) additionally retries under the alternate pricing rule,
+// which walks a different path through the degenerate vertices, and then on
+// a row-equilibrated clone of the problem, which removes the conditioning
+// that caused the breakdown in the first place.
 func (p *Problem) solveSparse(opts Options) (*Solution, error) {
 	totalIters := 0
 	var totalStats SolveStats
@@ -1462,6 +1503,56 @@ func (p *Problem) solveSparse(opts Options) (*Solution, error) {
 				sol.Iterations += totalIters
 			}
 			return sol, err
+		}
+	}
+	if st == IterLimit && s.iters < s.maxIters {
+		// IterLimit with pivots to spare is a numerical breakdown — a basis
+		// that went singular or a ratio test that found no finite step — not
+		// a genuine budget exhaustion. The pricing rule steered the solve
+		// into that corner (devex reference weights concentrate on degenerate
+		// columns; heavily weighted aggregate LPs trip this), so retry cold
+		// under the alternate rule. Eager refactorization alone does NOT
+		// recover these solves — the alternate pivot path is what escapes.
+		alt := opts
+		if opts.Pricing == DantzigPricing {
+			alt.Pricing = DevexPricing
+		} else {
+			alt.Pricing = DantzigPricing
+		}
+		s2 := newSparse(p, alt)
+		st2 := s2.runCold()
+		totalIters += s2.iters
+		totalStats.Add(s2.stats)
+		if st2 == Optimal {
+			if x := s2.extract(); p.CheckFeasible(x, 1e-6) == nil {
+				return finish(s2, st2), nil
+			}
+		}
+		// Both pricing rules broke down: the conditioning of the rows
+		// themselves is the problem (heavily weighted aggregate rows mixing
+		// O(10^3) and O(10) coefficients do this to the eta file). Re-solve a
+		// row-equilibrated clone — the identical LP, renormalized — under
+		// each rule. The clone's x IS a solution of p (row scaling never
+		// touches the variables), audited against p's own rows below. The
+		// basis is NOT carried out: its factorization is of the scaled rows
+		// and must not warm-start the original problem.
+		for _, o := range []Options{opts, alt} {
+			q := p.rowEquilibratedClone()
+			s3 := newSparse(q, o)
+			st3 := s3.runCold()
+			totalIters += s3.iters
+			totalStats.Add(s3.stats)
+			if st3 == Optimal {
+				if x := s3.extract(); p.CheckFeasible(x, 1e-6) == nil {
+					return &Solution{
+						Status:     Optimal,
+						X:          x,
+						Objective:  p.objectiveOf(x),
+						Iterations: totalIters,
+						Stats:      totalStats,
+					}, nil
+				}
+			}
 		}
 	}
 	return finish(s, st), nil

@@ -162,11 +162,12 @@ func Build(in *netmodel.Instance, opts Options) (*lp.Problem, *VarMap) {
 				lp.Coef{Var: m.Y(in.Commodity[j], i), Val: -1})
 		}
 	}
-	// (3) Σ_j B x ≤ F_i z_i.
+	// (3) Σ_j w_j B x ≤ F_i z_i — per-unit loads, so a weighted aggregate
+	// (internal/agg) reserves fanout for every member behind the unit.
 	for i := 0; i < R; i++ {
 		coefs := make([]lp.Coef, 0, D+1)
 		for j := 0; j < D; j++ {
-			coefs = append(coefs, lp.Coef{Var: m.X(i, j), Val: in.StreamBandwidth(in.Commodity[j])})
+			coefs = append(coefs, lp.Coef{Var: m.X(i, j), Val: in.UnitLoad(j)})
 		}
 		coefs = append(coefs, lp.Coef{Var: m.Z(i), Val: -in.Fanout[i]})
 		p.AddConstraint(lp.LE, 0, coefs...)
@@ -182,7 +183,7 @@ func Build(in *netmodel.Instance, opts Options) (*lp.Problem, *VarMap) {
 				}
 				coefs := make([]lp.Coef, 0, len(sinks)+1)
 				for _, j := range sinks {
-					coefs = append(coefs, lp.Coef{Var: m.X(i, j), Val: in.StreamBandwidth(k)})
+					coefs = append(coefs, lp.Coef{Var: m.X(i, j), Val: in.UnitLoad(j)})
 				}
 				coefs = append(coefs, lp.Coef{Var: m.Y(k, i), Val: -in.Fanout[i]})
 				p.AddConstraint(lp.LE, 0, coefs...)

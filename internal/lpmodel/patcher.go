@@ -64,6 +64,7 @@ type Patcher struct {
 	kCount       int   // commodities with at least one sink (cutting-plane rows per reflector)
 	kRank        []int // commodity → dense rank among nonempty ones, -1 if empty
 	byCommodity  [][]int
+	posInK       []int // sink j → its position within byCommodity[Commodity[j]]
 
 	// fanout is the shadow copy value-diffed on every Sync.
 	fanout []float64
@@ -111,6 +112,7 @@ func (pt *Patcher) Sync(in *netmodel.Instance, opts Options, dirty *netmodel.Dir
 	if dirty != nil {
 		pt.patchObjective(in, dirty, &st)
 		pt.patchCoverings(in, dirty, &st)
+		pt.patchWeights(in, dirty, &st)
 	}
 	return pt.prob, pt.vm, st
 }
@@ -146,6 +148,12 @@ func (pt *Patcher) rebuild(in *netmodel.Instance, opts Options) {
 	if opts.CuttingPlane {
 		pt.base5 += R * pt.kCount
 	}
+	pt.posInK = make([]int, D)
+	for _, sinks := range pt.byCommodity {
+		for pos, j := range sinks {
+			pt.posInK[j] = pos
+		}
+	}
 	pt.fanout = append(pt.fanout[:0], in.Fanout...)
 }
 
@@ -171,6 +179,30 @@ func (pt *Patcher) patchFanout(in *netmodel.Instance, st *PatchStats) {
 				// Row (4)_{i,k}: the sinks of k, then the y^k_i coefficient.
 				r := pt.base3 + pt.r + i*pt.kCount + rank
 				if pt.prob.SetRowCoef(r, len(pt.byCommodity[k]), -f) {
+					st.Coefs++
+				}
+			}
+		}
+	}
+}
+
+// patchWeights rewrites the fanout-load coefficients of demand units whose
+// UnitWeight changed (the aggregation layer's dirty category): unit j's cell
+// in constraint (3) of every reflector, and its cell in the commodity's
+// cutting plane (4) when present.
+func (pt *Patcher) patchWeights(in *netmodel.Instance, dirty *netmodel.DirtySet, st *PatchStats) {
+	for _, j := range dirty.SinkWeight {
+		load := in.UnitLoad(j)
+		k := in.Commodity[j]
+		rank := pt.kRank[k]
+		for i := 0; i < pt.r; i++ {
+			// Row (3)_i: D sink coefficients then the z_i coefficient.
+			if pt.prob.SetRowCoef(pt.base3+i, j, load) {
+				st.Coefs++
+			}
+			if pt.opts.CuttingPlane && rank >= 0 {
+				r := pt.base3 + pt.r + i*pt.kCount + rank
+				if pt.prob.SetRowCoef(r, pt.posInK[j], load) {
 					st.Coefs++
 				}
 			}

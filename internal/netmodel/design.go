@@ -98,12 +98,13 @@ func (d *Design) Cost(in *Instance) float64 {
 }
 
 // FanoutUse returns the fanout consumed at reflector i:
-// Σ_k B^k · Σ_j x^k_{ij} (B^k = 1 without the §6.1 extension).
+// Σ_j x_{ij} · UnitWeight[j] · B^k (weights and B^k are 1 without the
+// internal/agg and §6.1 extensions respectively).
 func (d *Design) FanoutUse(in *Instance, i int) float64 {
 	use := 0.0
 	for j, v := range d.Serve[i] {
 		if v {
-			use += in.StreamBandwidth(in.Commodity[j])
+			use += in.UnitLoad(j)
 		}
 	}
 	return use

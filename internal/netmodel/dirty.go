@@ -38,6 +38,11 @@ type DirtySet struct {
 	// weight moves.
 	SrcRefLoss  []Arc `json:"src_ref_loss,omitempty"`
 	RefSinkLoss []Arc `json:"ref_sink_loss,omitempty"`
+	// SinkWeight lists demand units whose UnitWeight changed: their load
+	// coefficient in constraint (3) and the commodity cutting plane (4)
+	// moves at every reflector. Only the aggregation layer (internal/agg)
+	// produces weighted instances, so flat delta flows never emit it.
+	SinkWeight []int `json:"sink_weight,omitempty"`
 }
 
 // Empty reports whether the set lists nothing.
@@ -51,7 +56,8 @@ func (d *DirtySet) Size() int {
 		return 0
 	}
 	return len(d.SinkDemand) + len(d.Fanout) + len(d.ReflectorCost) +
-		len(d.SrcRefCost) + len(d.RefSinkCost) + len(d.SrcRefLoss) + len(d.RefSinkLoss)
+		len(d.SrcRefCost) + len(d.RefSinkCost) + len(d.SrcRefLoss) + len(d.RefSinkLoss) +
+		len(d.SinkWeight)
 }
 
 // Merge appends every entry of o into d (set semantics make duplicates
@@ -67,6 +73,7 @@ func (d *DirtySet) Merge(o *DirtySet) {
 	d.RefSinkCost = append(d.RefSinkCost, o.RefSinkCost...)
 	d.SrcRefLoss = append(d.SrcRefLoss, o.SrcRefLoss...)
 	d.RefSinkLoss = append(d.RefSinkLoss, o.RefSinkLoss...)
+	d.SinkWeight = append(d.SinkWeight, o.SinkWeight...)
 }
 
 // DiffDesigns returns the cost cells whose stickiness discount flips when

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"testing"
 
+	"repro/internal/agg"
 	"repro/internal/gen"
 	"repro/internal/live"
 	"repro/internal/netmodel"
@@ -70,6 +71,15 @@ func FuzzDeltaApply(f *testing.F) {
 		`{"set_stream":[{"sink":-1,"stream":0,"value":0.5}]}`,
 		`{"set_stream":[{"sink":0,"stream":0,"value":1}]}`,
 		`{"set_stream":[{"sink":3,"stream":1,"value":0.97},{"sink":3,"stream":1,"value":0}]}`,
+		// Aggregation-crossing churn: a viewer flips which of its stream
+		// slots is active (failover shape) — weight moves BETWEEN the
+		// aggregate units of its super-sink; a second viewer leaves both
+		// slots while a neighbor in the same group joins — weight-neutral at
+		// one unit, a real drop at another. These drive agg.Sync's
+		// re-keying of touched units across aggregate boundaries.
+		`{"set_stream":[{"sink":0,"stream":0,"value":0},{"sink":0,"stream":1,"value":0.97}]}`,
+		`{"set_stream":[{"sink":1,"stream":0,"value":0},{"sink":1,"stream":1,"value":0},{"sink":2,"stream":0,"value":0.97}]}`,
+		`{"set_threshold":[{"sink":0,"value":0}],"set_stream":[{"sink":4,"stream":1,"value":0.93}],"scale_ref_sink_cost":[{"a":0,"b":0,"value":1.2}]}`,
 	} {
 		f.Add([]byte(s))
 	}
@@ -117,7 +127,84 @@ func FuzzDeltaApply(f *testing.F) {
 			t.Fatalf("delta changed dimensions to (%d,%d,%d)", s, r, dd)
 		}
 		checkDirtyComplete(t, snapshot, in, ds)
+		checkAggregateSync(t, snapshot, in, ds)
 	})
+}
+
+// checkAggregateSync asserts the aggregation plane's half of the dirty-set
+// contract: folding the reported set through agg.Sync must leave the
+// incrementally-maintained aggregate instance cell-identical to a fresh
+// fold of the mutated instance, and every aggregate cell that moved must be
+// in the emitted aggregate dirty set. A miss on either side would leave an
+// aggregated session's LP silently summarizing stale member state.
+func checkAggregateSync(t *testing.T, before, after *netmodel.Instance, ds *netmodel.DirtySet) {
+	t.Helper()
+	// Pin the grouping (mixing viewers across group labels) so the fresh
+	// fold of the mutated instance partitions identically: auto anchor
+	// groups are a function of the drifting costs.
+	groups := make([]int, before.NumViewers())
+	for g := range groups {
+		groups[g] = g % 3
+	}
+	cfg := agg.Config{GroupOf: groups}
+	st, err := agg.Build(before, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := st.Agg.Clone()
+	out := st.Sync(after, ds)
+	fresh, err := agg.Build(after, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inInts := func(list []int, x int) bool {
+		for _, v := range list {
+			if v == x {
+				return true
+			}
+		}
+		return false
+	}
+	inArcs := func(list []netmodel.Arc, a, b int) bool {
+		for _, v := range list {
+			if v.A == a && v.B == b {
+				return true
+			}
+		}
+		return false
+	}
+	for au := 0; au < st.Units(); au++ {
+		if st.Agg.Threshold[au] != fresh.Agg.Threshold[au] {
+			t.Fatalf("aggregate threshold[%d]: synced %g, fresh fold %g",
+				au, st.Agg.Threshold[au], fresh.Agg.Threshold[au])
+		}
+		if st.Agg.UnitWeight[au] != fresh.Agg.UnitWeight[au] {
+			t.Fatalf("aggregate weight[%d]: synced %g, fresh fold %g",
+				au, st.Agg.UnitWeight[au], fresh.Agg.UnitWeight[au])
+		}
+		if st.Agg.Threshold[au] != prev.Threshold[au] && !inInts(out.SinkDemand, au) {
+			t.Fatalf("aggregate threshold[%d] changed but is not in SinkDemand", au)
+		}
+		if st.Agg.UnitWeight[au] != prev.UnitWeight[au] && !inInts(out.SinkWeight, au) {
+			t.Fatalf("aggregate weight[%d] changed but is not in SinkWeight", au)
+		}
+		for i := range st.Agg.RefSinkCost {
+			if st.Agg.RefSinkCost[i][au] != fresh.Agg.RefSinkCost[i][au] {
+				t.Fatalf("aggregate cost[%d][%d]: synced %g, fresh fold %g",
+					i, au, st.Agg.RefSinkCost[i][au], fresh.Agg.RefSinkCost[i][au])
+			}
+			if st.Agg.RefSinkLoss[i][au] != fresh.Agg.RefSinkLoss[i][au] {
+				t.Fatalf("aggregate loss[%d][%d]: synced %g, fresh fold %g",
+					i, au, st.Agg.RefSinkLoss[i][au], fresh.Agg.RefSinkLoss[i][au])
+			}
+			if st.Agg.RefSinkCost[i][au] != prev.RefSinkCost[i][au] && !inArcs(out.RefSinkCost, i, au) {
+				t.Fatalf("aggregate cost[%d][%d] changed but is not in RefSinkCost", i, au)
+			}
+			if st.Agg.RefSinkLoss[i][au] != prev.RefSinkLoss[i][au] && !inArcs(out.RefSinkLoss, i, au) {
+				t.Fatalf("aggregate loss[%d][%d] changed but is not in RefSinkLoss", i, au)
+			}
+		}
+	}
 }
 
 // checkDirtyComplete asserts the dirty-set contract the incremental LP

@@ -94,6 +94,17 @@ type Instance struct {
 	// viewer's streams distinct, and §6.3 edge caps constant within a
 	// viewer; Validate enforces all of it.
 	SinkOf []int `json:"sink_of,omitempty"`
+
+	// UnitWeight[j] is the number of real subscriptions demand unit j
+	// stands for — the weighted super-sink view of internal/agg, where
+	// one unit aggregates many co-located viewers of the same stream.
+	// Serving unit j consumes UnitWeight[j]·B^k fanout units at the
+	// reflector (constraint (3) and the cutting planes (4) scale by it),
+	// while the covering constraint is per-unit as before: meeting the
+	// representative threshold meets every member. Nil means every unit
+	// weighs 1 (the flat model). Weights may be 0 (a fully unsubscribed
+	// aggregate); such units should carry Threshold 0 too.
+	UnitWeight []float64 `json:"unit_weight,omitempty"`
 }
 
 // Dims returns (|S|, |R|, |D|).
@@ -190,6 +201,16 @@ func (in *Instance) Validate() error {
 			}
 		}
 	}
+	if in.UnitWeight != nil {
+		if len(in.UnitWeight) != D {
+			return fmt.Errorf("netmodel: UnitWeight has %d entries, want %d", len(in.UnitWeight), D)
+		}
+		for j, w := range in.UnitWeight {
+			if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				return fmt.Errorf("netmodel: bad unit weight %g at sink %d", w, j)
+			}
+		}
+	}
 	return in.validateSinkOf()
 }
 
@@ -252,6 +273,27 @@ func (in *Instance) StreamBandwidth(k int) float64 {
 	return in.Bandwidth[k]
 }
 
+// Weighted reports whether the instance carries per-unit weights (the
+// aggregated super-sink view of internal/agg).
+func (in *Instance) Weighted() bool { return in.UnitWeight != nil }
+
+// WeightOf returns UnitWeight[j] (1 when the instance is unweighted).
+func (in *Instance) WeightOf(j int) float64 {
+	if in.UnitWeight == nil {
+		return 1
+	}
+	return in.UnitWeight[j]
+}
+
+// UnitLoad returns the fanout load serving demand unit j puts on a
+// reflector: UnitWeight[j]·B^k for k = Commodity[j]. Every capacity
+// consumer (LP constraint (3)/(4), FanoutUse, rounding, shard bidding)
+// must use this instead of the bare stream bandwidth so weighted
+// aggregates reserve capacity for all their members.
+func (in *Instance) UnitLoad(j int) float64 {
+	return in.WeightOf(j) * in.StreamBandwidth(in.Commodity[j])
+}
+
 // ArcAllowed reports whether the reflector i -> sink j arc is usable: the
 // §6.3 capacity, if present, must be at least 1 for an integral assignment.
 func (in *Instance) ArcAllowed(i, j int) bool {
@@ -295,6 +337,9 @@ func (in *Instance) Clone() *Instance {
 	}
 	if in.SinkOf != nil {
 		cp.SinkOf = append([]int(nil), in.SinkOf...)
+	}
+	if in.UnitWeight != nil {
+		cp.UnitWeight = append([]float64(nil), in.UnitWeight...)
 	}
 	return &cp
 }

@@ -54,6 +54,12 @@ const (
 
 	// Session re-optimization (core.Session).
 	MBiasFlips = "overlay_session_bias_flips_total"
+
+	// Hierarchical viewer aggregation (internal/agg).
+	MAggGroups        = "overlay_agg_groups"
+	MAggUnits         = "overlay_agg_units"
+	MAggLPFreeEpochs  = "overlay_agg_lp_free_epochs_total"
+	MAggWeightChanges = "overlay_agg_weight_changes_total"
 )
 
 // canonicalFamilies drives both Canonical and the README reference table.
@@ -91,6 +97,10 @@ var canonicalFamilies = []struct {
 	{MShardResolves, KindCounter, "Shard re-solves triggered by coordination."},
 	{MShardFallbacks, KindCounter, "Sharded solves that fell back to the monolithic pipeline."},
 	{MBiasFlips, KindCounter, "Stickiness-bias cost cells flipped by deployment changes between epochs."},
+	{MAggGroups, KindGauge, "Aggregates (weighted super-sinks) the LP solves over."},
+	{MAggUnits, KindGauge, "Aggregate demand units — the LP's sink axis under aggregation."},
+	{MAggLPFreeEpochs, KindCounter, "Epochs whose churn was weight-neutral inside every aggregate: no LP build, patch, or pivot."},
+	{MAggWeightChanges, KindCounter, "Aggregate units whose member-subscription weight changed."},
 }
 
 // Canonical pre-registers every canonical metric family with its help text,

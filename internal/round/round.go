@@ -216,7 +216,7 @@ func (r *Rounded) Instrument(in *netmodel.Instance, lpCost float64) Instrumentat
 		use := 0.0
 		for j := 0; j < D; j++ {
 			if r.XBar[i][j] > 0 {
-				use += in.StreamBandwidth(in.Commodity[j]) * r.XBar[i][j]
+				use += in.UnitLoad(j) * r.XBar[i][j]
 			}
 		}
 		if use == 0 {

@@ -87,7 +87,7 @@ func Consolidate(in *netmodel.Instance, d *netmodel.Design) int {
 		feasible := true
 		arcDelta := 0.0
 		for _, j := range served[i] {
-			b := in.StreamBandwidth(in.Commodity[j])
+			b := in.UnitLoad(j)
 			w := in.CappedWeight(i, j)
 			floor := weight[j]
 			if dem := in.Demand(j); floor > dem {
@@ -153,7 +153,7 @@ func Consolidate(in *netmodel.Instance, d *netmodel.Design) int {
 			d.Serve[mv.to][mv.j] = true
 			w := in.CappedWeight(i, mv.j)
 			weight[mv.j] += in.CappedWeight(mv.to, mv.j) - w
-			b := in.StreamBandwidth(in.Commodity[mv.j])
+			b := in.UnitLoad(mv.j)
 			use[mv.to] += b
 			if copies != nil {
 				copies[mv.j][in.Color[i]]--

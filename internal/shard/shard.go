@@ -111,6 +111,22 @@ type State struct {
 	Subs []*netmodel.Instance
 }
 
+// EffectiveShards returns the shard count PartitionSinks actually produces
+// for k requested shards: requests are clamped to the number of atomic
+// demand groups — viewers on multi-stream instances, sinks otherwise — with
+// a floor of 1. Warm-state plumbing must compare against this, not the raw
+// request: a request above the clamp would otherwise mismatch the (clamped)
+// cached partition every epoch and silently discard all warm state.
+func EffectiveShards(in *netmodel.Instance, k int) int {
+	if g := in.NumViewers(); k > g {
+		k = g
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
 // compatible reports whether the state can seed a solve of in with k shards.
 func (st *State) compatible(in *netmodel.Instance, k int) bool {
 	if st == nil || len(st.Sinks) != k || len(st.Alloc) != k {
@@ -323,6 +339,10 @@ func Prepare(in *netmodel.Instance, opts Options, state *State) (*Plan, error) {
 	if opts.Shards < 2 {
 		return nil, fmt.Errorf("shard: %d shards requested, need ≥ 2", opts.Shards)
 	}
+	// Clamp before the warm-state check: PartitionSinks caps the count at the
+	// number of atomic demand groups, so a State built from an over-asked k
+	// carries the clamped partition and must still match.
+	opts.Shards = EffectiveShards(in, opts.Shards)
 	p := &Plan{In: in, opts: opts}
 	if state.compatible(in, opts.Shards) {
 		p.Sinks = state.Sinks
@@ -413,7 +433,7 @@ func (p *Plan) computeAffinity() {
 				}
 			}
 			limit := cheap*minC + 1e-12
-			b := in.StreamBandwidth(in.Commodity[j])
+			b := in.UnitLoad(j)
 			for i := 0; i < R; i++ {
 				if in.RefSinkCost[i][j] <= limit {
 					row[i] += b
@@ -523,6 +543,9 @@ func extract(in *netmodel.Instance, sinks []int, alloc []float64, s int) *netmod
 	if in.EdgeCap != nil {
 		sub.EdgeCap = subCols(in.EdgeCap, sinks)
 	}
+	if in.UnitWeight != nil {
+		sub.UnitWeight = subFloats(in.UnitWeight, sinks)
+	}
 	if in.SinkOf != nil {
 		// Viewers are shard-atomic and their units contiguous in the parent,
 		// so renumbering the surviving groups densely keeps the invariants.
@@ -568,6 +591,9 @@ func rebind(sub, in *netmodel.Instance, sinks []int, alloc []float64, d *netmode
 	}
 	for _, a := range d.RefSinkLoss {
 		sub.RefSinkLoss[a.A][a.B] = in.RefSinkLoss[a.A][sinks[a.B]]
+	}
+	for _, c := range d.SinkWeight {
+		sub.UnitWeight[c] = in.UnitWeight[sinks[c]]
 	}
 }
 

@@ -185,6 +185,45 @@ func TestQuantileInterpolation(t *testing.T) {
 	}
 }
 
+func TestQuantileNaNAndInf(t *testing.T) {
+	nan := math.NaN()
+	// NaN q is NaN at every sample size — including the n=0 and n=1 fast
+	// paths that used to short-circuit before the guards, and the n≥2 path
+	// that used to index with int(floor(NaN)) and panic.
+	for _, sorted := range [][]float64{nil, {7}, {1, 2}, {1, 2, 3, 4}} {
+		if q := Quantile(sorted, nan); !math.IsNaN(q) {
+			t.Fatalf("Quantile(n=%d, NaN) = %v, want NaN", len(sorted), q)
+		}
+	}
+	// q outside [0,1] clamps; infinite q clamps like any out-of-range q.
+	if q := Quantile([]float64{1, 2}, -0.5); q != 1 {
+		t.Fatalf("Quantile(-0.5) = %v, want 1", q)
+	}
+	if q := Quantile([]float64{1, 2}, math.Inf(1)); q != 2 {
+		t.Fatalf("Quantile(+Inf q) = %v, want 2", q)
+	}
+	// ±Inf VALUES propagate: an exact order-statistic hit returns the
+	// infinity itself (no 0·Inf = NaN), interpolation toward it is ±Inf.
+	inf := math.Inf(1)
+	sorted := []float64{0, 1, inf}
+	if q := Quantile(sorted, 0.5); q != 1 {
+		t.Fatalf("Quantile(0.5) on exact finite statistic = %v, want 1", q)
+	}
+	if q := Quantile(sorted, 1); !math.IsInf(q, 1) {
+		t.Fatalf("Quantile(1) = %v, want +Inf", q)
+	}
+	if q := Quantile(sorted, 0.75); !math.IsInf(q, 1) {
+		t.Fatalf("Quantile(0.75) interpolating toward +Inf = %v, want +Inf", q)
+	}
+	if q := Quantile([]float64{inf, inf}, 0.5); !math.IsInf(q, 1) {
+		t.Fatalf("Quantile between equal infinities = %v, want +Inf", q)
+	}
+	// Exactly on an infinite order statistic in the middle of the sample.
+	if q := Quantile([]float64{0, inf, inf}, 0.5); !math.IsInf(q, 1) {
+		t.Fatalf("Quantile landing on +Inf statistic = %v, want +Inf", q)
+	}
+}
+
 func TestMeanCIShrinks(t *testing.T) {
 	r := NewRNG(11)
 	small := make([]float64, 10)

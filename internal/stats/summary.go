@@ -64,7 +64,20 @@ func Std(xs []float64) float64 {
 
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) of an already-sorted slice,
 // using linear interpolation between order statistics.
+//
+// Edge cases are explicit: a NaN q returns NaN for every sample size (it
+// used to fall through the range guards and index with int(floor(NaN)) — a
+// panic on samples of two or more); q outside [0,1] clamps to the extremes.
+// ±Inf VALUES propagate: a quantile landing exactly on an infinite order
+// statistic returns it, and one interpolating strictly between a finite
+// value and ±Inf returns ±Inf; only interpolating between -Inf and +Inf is
+// NaN (undefined). The slice is assumed NaN-free — sort.Float64s places NaN
+// values arbitrarily, so a sample containing NaN has no meaningful order
+// statistics.
 func Quantile(sorted []float64, q float64) float64 {
+	if math.IsNaN(q) {
+		return math.NaN()
+	}
 	n := len(sorted)
 	if n == 0 {
 		return 0
@@ -82,6 +95,11 @@ func Quantile(sorted []float64, q float64) float64 {
 	lo := int(math.Floor(pos))
 	hi := lo + 1
 	frac := pos - float64(lo)
+	if frac == 0 {
+		// Exact order statistic: no interpolation, so an infinite value
+		// comes back as itself instead of the NaN that 0·Inf would yield.
+		return sorted[lo]
+	}
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 

@@ -170,7 +170,7 @@ func Round(in *netmodel.Instance, xbar [][]float64, opts Options) (*Result, erro
 		// (i) fanout rows: bandwidth-weighted use of reflector i ≤ F_i.
 		perRefl := make([][]lp.Coef, R)
 		for pIdx, pr := range pairs {
-			bw := in.StreamBandwidth(in.Commodity[pr.sink])
+			bw := in.UnitLoad(pr.sink)
 			for _, vid := range varsOfPair[pIdx] {
 				perRefl[pr.refl] = append(perRefl[pr.refl], lp.Coef{Var: vid, Val: bw})
 			}
@@ -311,7 +311,7 @@ func sampleOnce(in *netmodel.Instance, pairs []pairRec, boxes []boxRec, vars []p
 		use := 0.0
 		for j := 0; j < D; j++ {
 			if res.Serve[i][j] {
-				use += in.StreamBandwidth(in.Commodity[j])
+				use += in.UnitLoad(j)
 				res.FinalCost += in.RefSinkCost[i][j]
 			}
 		}

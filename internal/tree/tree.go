@@ -58,7 +58,7 @@ func Build(in *netmodel.Instance) *Result {
 	for _, so := range order {
 		j := so.j
 		k := in.Commodity[j]
-		bw := in.StreamBandwidth(k)
+		bw := in.UnitLoad(j)
 		bestI := -1
 		bestCost := math.Inf(1)
 		for i := 0; i < R; i++ {
