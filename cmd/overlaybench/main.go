@@ -823,12 +823,43 @@ type shardRow struct {
 	CostRatio    float64 `json:"cost_ratio,omitempty"`
 }
 
+// reflectorRow is one |R| size of the reflector-axis sweep: the same
+// capacity-constrained instance coordinated flat (proportional re-bidding)
+// and hierarchically (two-level dual-price exchange), side by side.
+type reflectorRow struct {
+	Reflectors int `json:"reflectors"`
+	Sinks      int `json:"sinks"`
+	Shards     int `json:"shards"`
+	Fanout     int `json:"fanout"`
+	// The flat coordination arm.
+	FlatWallNS   int64   `json:"flat_wall_ns"`
+	FlatRounds   int     `json:"flat_rounds"`
+	FlatResolves int     `json:"flat_resolves"`
+	FlatCost     float64 `json:"flat_cost"`
+	FlatAuditOK  bool    `json:"flat_audit_ok"`
+	// The hierarchical exchange arm.
+	HierWallNS          int64   `json:"hier_wall_ns"`
+	ExchangeRounds      int     `json:"exchange_rounds"`
+	ExchangeGap         float64 `json:"exchange_gap"`
+	ContestedReflectors int     `json:"contested_reflectors"`
+	HierResolves        int     `json:"hier_resolves"`
+	HierCost            float64 `json:"hier_cost"`
+	HierAuditOK         bool    `json:"hier_audit_ok"`
+	// CostRatio = hier / flat; RoundRatio = exchange / flat rounds.
+	CostRatio  float64 `json:"cost_ratio"`
+	RoundRatio float64 `json:"round_ratio,omitempty"`
+}
+
 // shardBench is the BENCH_shard.json schema.
 type shardBench struct {
 	Workload     string     `json:"workload"`
 	MonoDeadline string     `json:"mono_deadline"`
 	Rows         []shardRow `json:"rows"`
-	Generated    string     `json:"generated"`
+	// ReflectorRows is the reflector-axis sweep: fixed sink population,
+	// |R| grown 50 → 500 with total fanout capacity held near-constant
+	// (scarce), flat coordination vs the hierarchical dual-price exchange.
+	ReflectorRows []reflectorRow `json:"reflector_rows"`
+	Generated     string         `json:"generated"`
 }
 
 // shardSweep runs the S2 extended scaling sweep: 8-shard solves from 252 to
@@ -941,6 +972,12 @@ func shardSweep(outPath string, deadline time.Duration, quick bool) error {
 		fmt.Println()
 		bench.Rows = append(bench.Rows, row)
 	}
+	rows, err := reflectorSweep(quick)
+	if err != nil {
+		return err
+	}
+	bench.ReflectorRows = rows
+
 	data, err := json.MarshalIndent(bench, "", "  ")
 	if err != nil {
 		return err
@@ -950,4 +987,89 @@ func shardSweep(outPath string, deadline time.Duration, quick bool) error {
 	}
 	fmt.Printf("wrote shard sweep to %s\n", outPath)
 	return nil
+}
+
+// reflectorSweep grows the reflector axis 50 → 500 over a fixed sink
+// population with total fanout capacity held near-constant (≈2.5 service
+// slots per sink — scarce enough that shards contend), and coordinates each
+// instance both ways: flat proportional re-bidding vs the two-level
+// dual-price exchange. The sweep is where the exchange's claim lives: as
+// |R| grows, contested reflectors multiply, and the price-priority clearing
+// should hold its round count (and cost) at or below the flat pass's.
+func reflectorSweep(quick bool) ([]reflectorRow, error) {
+	const regions, isps = 10, 5
+	rpcs := []int{1, 2, 4, 10} // |R| = 50, 100, 200, 500
+	spr := 16                  // 160 sinks
+	if quick {
+		rpcs = []int{1, 2}
+		spr = 8
+	}
+	var rows []reflectorRow
+	for _, rpc := range rpcs {
+		cc := gen.DefaultClustered(2, regions, isps, spr)
+		cc.ReflectorsPerColo = rpc
+		R := regions * isps * rpc
+		D := regions * spr
+		// ⌈2.5·D / R⌉: capacity stays scarce as R grows. Floored at 2 —
+		// single-slot reflectors are a degenerate knife edge where the
+		// clustered generator's cheap sets collapse, not a scarcity regime.
+		cc.Fanout = max((5*D/2+R-1)/R, 2)
+		in := gen.Clustered(cc, 21)
+		in.Color = nil
+		in.NumColors = 0
+
+		opts := core.DefaultOptions(21)
+		opts.Shards = 8
+		opts.ShardRounds = 8
+		start := time.Now()
+		flat, err := core.Solve(in, opts)
+		if err != nil {
+			return nil, fmt.Errorf("flat R=%d: %w", R, err)
+		}
+		flatWall := time.Since(start)
+
+		opts.ShardLevels = 2
+		start = time.Now()
+		hier, err := core.Solve(in, opts)
+		if err != nil {
+			return nil, fmt.Errorf("hier R=%d: %w", R, err)
+		}
+		hierWall := time.Since(start)
+
+		// At the engineered 2.5x scarcity the rounded designs can leave
+		// sinks below quarter weight in either arm; running the §7 repair
+		// pass INSIDE the solve (opts.RepairCoverage) would heal each shard
+		// before the coordination loop ever sees starvation and zero out the
+		// very rounds the sweep measures, so repair the final merged designs
+		// here instead and audit what would actually deploy.
+		core.RepairCoverage(in, flat.Design, 4)
+		core.RepairCoverage(in, hier.Design, 4)
+		fa := netmodel.AuditDesign(in, flat.Design)
+		ha := netmodel.AuditDesign(in, hier.Design)
+
+		fi, hi := flat.ShardInfo, hier.ShardInfo
+		row := reflectorRow{
+			Reflectors: in.NumReflectors, Sinks: in.NumSinks,
+			Shards: fi.Shards, Fanout: cc.Fanout,
+			FlatWallNS: flatWall.Nanoseconds(), FlatRounds: fi.Rounds,
+			FlatResolves: fi.Resolves, FlatCost: fa.Cost,
+			FlatAuditOK: fa.StructureOK && core.MeetsGuarantee(fa, flat.PathRounding),
+			HierWallNS:  hierWall.Nanoseconds(), ExchangeRounds: hi.ExchangeRounds,
+			ExchangeGap: hi.ExchangeGap, ContestedReflectors: hi.ContestedReflectors,
+			HierResolves: hi.Resolves, HierCost: ha.Cost,
+			HierAuditOK: ha.StructureOK && core.MeetsGuarantee(ha, hier.PathRounding),
+		}
+		if fa.Cost > 0 {
+			row.CostRatio = ha.Cost / fa.Cost
+		}
+		if fi.Rounds > 0 {
+			row.RoundRatio = float64(hi.ExchangeRounds) / float64(fi.Rounds)
+		}
+		fmt.Printf("R=%d D=%d F=%d: flat %d rounds %v cost %.1f | exchange %d rounds (gap %.4f, %d contested) %v cost %.1f (%.3fx)\n",
+			R, in.NumSinks, cc.Fanout, row.FlatRounds, flatWall.Round(time.Millisecond), row.FlatCost,
+			row.ExchangeRounds, row.ExchangeGap, row.ContestedReflectors,
+			hierWall.Round(time.Millisecond), row.HierCost, row.CostRatio)
+		rows = append(rows, row)
+	}
+	return rows, nil
 }

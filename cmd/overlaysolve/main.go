@@ -4,8 +4,9 @@
 // Usage:
 //
 //	overlaysolve -in instance.json [-o design.json] [-seed 1] [-c 64]
-//	             [-greedy] [-exact] [-lp-only] [-shards 8] [-json report.json]
-//	             [-pricing devex|dantzig|partial] [-refactor-every N]
+//	             [-greedy] [-exact] [-lp-only] [-shards 8] [-shard-levels 2]
+//	             [-json report.json] [-pricing devex|dantzig|partial]
+//	             [-refactor-every N]
 //
 // -greedy and -exact run the baseline / exact IP solver instead of the
 // LP-rounding algorithm (exact is exponential: tiny instances only).
@@ -59,7 +60,9 @@ func main() {
 		prior   = flag.String("prior", "", "prior design JSON for churn-aware re-solve (§1.3)")
 		sticky  = flag.Float64("stickiness", 0.5, "cost discount on prior arcs during re-solve, in [0,1)")
 		shards  = flag.Int("shards", 0, "≥2: solve one LP per commodity-region shard in parallel (internal/shard)")
+		levels  = flag.Int("shard-levels", 0, "2: fold shards into super-shards and clear capacity with the hierarchical dual-price exchange")
 		aggr    = flag.Bool("aggregate", false, "fold viewers into weighted super-sinks before the LP and disaggregate after (internal/agg)")
+		aggColo = flag.Int("agg-colo", 0, "≥2: group aggregates by cost-anchor COLO of this many reflectors instead of per reflector (caps the fold at R/N labels; needs -aggregate)")
 		jsonOut = flag.String("json", "", "write a machine-readable solve report (stages, audit, shard counters) here")
 		stages  = flag.Bool("stages", false, "print the per-stage pipeline instrumentation (lp-build/lp-patch/lp-solve/... wall and run counts)")
 		pricing = flag.String("pricing", "devex", "simplex pricing rule: devex|dantzig|partial")
@@ -85,12 +88,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "overlaysolve: -shards %d is negative (want 0, or ≥ 2 to shard)\n", *shards)
 		os.Exit(2)
 	}
+	if *levels < 0 || *levels > 2 {
+		fmt.Fprintf(os.Stderr, "overlaysolve: -shard-levels %d out of range (want 0/1 = flat coordination, 2 = hierarchical exchange)\n", *levels)
+		os.Exit(2)
+	}
+	if *levels >= 2 && *shards < 2 {
+		fmt.Fprintln(os.Stderr, "overlaysolve: -shard-levels 2 requires -shards ≥ 2")
+		os.Exit(2)
+	}
 	if *refEv < 0 {
 		fmt.Fprintf(os.Stderr, "overlaysolve: -refactor-every %d is negative (want 0 = auto, or a pivot cadence)\n", *refEv)
 		os.Exit(2)
 	}
 	if *aggr && (*useG || *useX) {
 		fmt.Fprintln(os.Stderr, "overlaysolve: -aggregate requires the LP pipeline (not -greedy/-exact)")
+		os.Exit(2)
+	}
+	if *aggColo < 0 || *aggColo == 1 {
+		fmt.Fprintf(os.Stderr, "overlaysolve: -agg-colo %d out of range (want 0 = per-reflector anchors, or ≥ 2 reflectors per colo)\n", *aggColo)
+		os.Exit(2)
+	}
+	if *aggColo >= 2 && !*aggr {
+		fmt.Fprintln(os.Stderr, "overlaysolve: -agg-colo requires -aggregate")
 		os.Exit(2)
 	}
 	if *trace != "" && (*useG || *useX) {
@@ -132,8 +151,12 @@ func main() {
 		opts.LPOnly = *lpOnly
 		opts.RepairCoverage = *repair
 		opts.Shards = *shards
+		opts.ShardLevels = *levels
 		if *aggr {
 			opts.Aggregate = &agg.Config{}
+			if *aggColo >= 2 {
+				opts.Aggregate.GroupOf = agg.ColoGroups(in, *aggColo)
+			}
 		}
 		opts.Pricing = pr
 		opts.RefactorEvery = *refEv
@@ -189,6 +212,10 @@ func main() {
 		if si := res.ShardInfo; si != nil {
 			fmt.Printf("sharded solve: %d shards, %d coordination rounds, %d re-solves, %d builds consolidated\n",
 				si.Shards, si.Rounds, si.Resolves, si.ConsolidatedBuilds)
+			if si.Levels >= 2 {
+				fmt.Printf("hierarchical exchange: %d levels, %d clearing rounds, %d contested reflectors, final gap %.4f\n",
+					si.Levels, si.ExchangeRounds, si.ContestedReflectors, si.ExchangeGap)
+			}
 			fmt.Printf("shard LPs: Σcost %.4f, Σ%d vars, Σ%d rows, Σ%d pivots, %v\n",
 				res.LPCost, res.Timings.TotalVars, res.Timings.TotalRows, res.Timings.LPPivots, res.Timings.LP.Round(time.Microsecond))
 		} else {
@@ -253,10 +280,14 @@ type solveReport struct {
 		WallNS int64  `json:"wall_ns"`
 		Runs   int    `json:"runs"`
 	} `json:"stages"`
-	ShardRounds        int  `json:"shard_rounds"`
-	ShardResolves      int  `json:"shard_resolves"`
-	ConsolidatedBuilds int  `json:"consolidated_builds"`
-	Fallback           bool `json:"fallback"`
+	ShardRounds         int     `json:"shard_rounds"`
+	ShardResolves       int     `json:"shard_resolves"`
+	ConsolidatedBuilds  int     `json:"consolidated_builds"`
+	Fallback            bool    `json:"fallback"`
+	ShardLevels         int     `json:"shard_levels,omitempty"`
+	ExchangeRounds      int     `json:"shard_exchange_rounds,omitempty"`
+	ContestedReflectors int     `json:"shard_contested_reflectors,omitempty"`
+	ExchangeGap         float64 `json:"shard_exchange_gap,omitempty"`
 }
 
 func writeReport(path string, in *netmodel.Instance, res *core.Result, audit netmodel.Audit) error {
@@ -275,6 +306,10 @@ func writeReport(path string, in *netmodel.Instance, res *core.Result, audit net
 		rep.ShardResolves = si.Resolves
 		rep.ConsolidatedBuilds = si.ConsolidatedBuilds
 		rep.Fallback = si.Fallback
+		rep.ShardLevels = si.Levels
+		rep.ExchangeRounds = si.ExchangeRounds
+		rep.ContestedReflectors = si.ContestedReflectors
+		rep.ExchangeGap = si.ExchangeGap
 	}
 	for _, s := range res.Stages {
 		rep.Stages = append(rep.Stages, struct {

@@ -199,6 +199,24 @@ func Build(in *netmodel.Instance, cfg Config) (*State, error) {
 	return st, nil
 }
 
+// ColoGroups labels each viewer with the colo of its cost anchor, treating
+// reflectors as banks of reflectorsPerColo consecutive indices (the layout
+// gen.Clustered produces). The default per-reflector anchor fold grows a
+// group per reflector, so at reflector counts in the hundreds the aggregate
+// LP inflates back with R; folding anchors to colo granularity caps the fold
+// at R/reflectorsPerColo labels independent of how many reflectors share a
+// site, which is what keeps the composed aggregated+sharded epoch inside its
+// wall budget at |R| ≥ 200. Pass the result as Config.GroupOf.
+func ColoGroups(in *netmodel.Instance, reflectorsPerColo int) []int {
+	out := anchorGroups(in)
+	if reflectorsPerColo > 1 {
+		for g := range out {
+			out[g] /= reflectorsPerColo
+		}
+	}
+	return out
+}
+
 // anchorGroups labels each viewer with its cost anchor: the reflector
 // serving its whole stream bundle cheapest (ties to the lowest index).
 func anchorGroups(in *netmodel.Instance) []int {

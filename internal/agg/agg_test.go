@@ -347,3 +347,36 @@ func TestDisaggregateServesActiveMembers(t *testing.T) {
 		}
 	}
 }
+
+// TestColoGroupsFoldsAnchors pins ColoGroups to its contract: the label is
+// exactly the per-reflector cost anchor folded into banks of
+// reflectorsPerColo consecutive indices, so the fold can never exceed
+// ⌈R/reflectorsPerColo⌉ labels, and reflectorsPerColo ≤ 1 degenerates to the
+// default per-reflector anchors.
+func TestColoGroupsFoldsAnchors(t *testing.T) {
+	cfg := gen.DefaultClustered(2, 3, 2, 5)
+	cfg.ReflectorsPerColo = 3
+	in := gen.Clustered(cfg, 11)
+	anchors := anchorGroups(in)
+	colos := ColoGroups(in, 3)
+	if len(colos) != len(anchors) {
+		t.Fatalf("ColoGroups returned %d labels for %d viewers", len(colos), len(anchors))
+	}
+	_, R, _ := in.Dims()
+	for g := range colos {
+		if colos[g] != anchors[g]/3 {
+			t.Fatalf("viewer %d: colo label %d, want anchor %d / 3 = %d",
+				g, colos[g], anchors[g], anchors[g]/3)
+		}
+		if colos[g] < 0 || colos[g] >= (R+2)/3 {
+			t.Fatalf("viewer %d: colo label %d out of range for R=%d, rpc=3", g, colos[g], R)
+		}
+	}
+	ident := ColoGroups(in, 1)
+	for g := range ident {
+		if ident[g] != anchors[g] {
+			t.Fatalf("rpc=1 must degenerate to per-reflector anchors (viewer %d: %d vs %d)",
+				g, ident[g], anchors[g])
+		}
+	}
+}

@@ -85,6 +85,15 @@ type Options struct {
 	// ShardRounds caps the coordination rounds of a sharded solve
 	// (default 3).
 	ShardRounds int
+	// ShardLevels selects the shard-coordination topology: ≤ 1 keeps the
+	// flat use-based re-bidding (shard-coordinate stage), 2 folds the
+	// leaves into super-shards and clears contested reflector capacity with
+	// the hierarchical dual-price exchange (shard-exchange stage) — leaf
+	// solves quote the shadow prices of their capacity rows and a master
+	// pass per level moves slack to the highest-value bids, which is what
+	// keeps coordination converging as reflector counts reach the
+	// hundreds. Ignored unless Shards ≥ 2.
+	ShardLevels int
 	// ShardWorkers bounds concurrent per-shard solves (0 = GOMAXPROCS).
 	ShardWorkers int
 	// ShardState warm-starts a sharded solve from a previous same-shaped
@@ -230,6 +239,16 @@ type ShardInfo struct {
 	// PerShardStats breaks Result.LPStats down by shard (nil when the
 	// shard path didn't run).
 	PerShardStats []lp.SolveStats
+	// Levels is the coordination topology that ran (1 = flat re-bidding,
+	// 2 = hierarchical price exchange). Under the exchange, ExchangeRounds
+	// counts price-clearing rounds (the Rounds analogue),
+	// ContestedReflectors the distinct reflectors whose capacity it
+	// cleared, and ExchangeGap the final relative bid/ask gap (0 = every
+	// bid cleared; convergence declares below 1%).
+	Levels              int
+	ExchangeRounds      int
+	ContestedReflectors int
+	ExchangeGap         float64
 	// Fallback reports that coordination could not feed every shard (a
 	// shard's LP stayed infeasible at the round cap) and the result came
 	// from a monolithic fallback solve instead.
@@ -428,6 +447,11 @@ func recordSolve(o *obs.Observer, res *Result) {
 		o.Counter(obs.MShardRebidRounds).Add(float64(si.Rounds))
 		o.Counter(obs.MShardResolves).Add(float64(si.Resolves))
 		o.Counter(obs.MShardExtractionsSkipped).Add(float64(si.ExtractionsSkipped))
+		if si.Levels >= 2 {
+			o.Counter(obs.MShardExchangeRounds).Add(float64(si.ExchangeRounds))
+			o.Counter(obs.MShardContestedRefs).Add(float64(si.ContestedReflectors))
+			o.Gauge(obs.MShardExchangeGap).Set(si.ExchangeGap)
+		}
 		if si.Fallback {
 			o.Counter(obs.MShardFallbacks).Inc()
 		}

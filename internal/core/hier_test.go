@@ -1,0 +1,219 @@
+package core
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/gen"
+	"repro/internal/netmodel"
+)
+
+// TestHierarchicalStageStructure pins the hierarchical pipeline's stage
+// names — the coordination stage reports as shard-exchange, and the flat
+// list (locked by TestShardedStageStructure) stays untouched.
+func TestHierarchicalStageStructure(t *testing.T) {
+	in := gen.Clustered(gen.DefaultClustered(2, 3, 2, 6), 17)
+	opts := DefaultOptions(4)
+	opts.Shards = 3
+	opts.ShardLevels = 2
+	res, err := Solve(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"shard-partition", "shard-solve", "shard-exchange", "audit"}
+	if len(res.Stages) != len(want) {
+		t.Fatalf("got %d stages, want %d", len(res.Stages), len(want))
+	}
+	for i, name := range want {
+		if res.Stages[i].Name != name {
+			t.Fatalf("stage %d = %q, want %q", i, res.Stages[i].Name, name)
+		}
+	}
+	si := res.ShardInfo
+	if si == nil || si.Shards != 3 {
+		t.Fatalf("ShardInfo = %+v, want 3 shards", si)
+	}
+	if si.Levels != 2 {
+		t.Fatalf("ShardInfo.Levels = %d, want 2", si.Levels)
+	}
+	if res.ShardState == nil || len(res.ShardState.Bases) != 3 {
+		t.Fatal("hierarchical solve must return per-shard warm state")
+	}
+}
+
+// TestHierarchicalLevelsInertWithoutShards locks ShardLevels down as a pure
+// modifier: without Shards ≥ 2 it must be ignored entirely — the monolithic
+// pipeline runs and no shard metadata appears.
+func TestHierarchicalLevelsInertWithoutShards(t *testing.T) {
+	in := gen.Clustered(gen.DefaultClustered(2, 3, 2, 6), 17)
+	base, err := Solve(in, DefaultOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(4)
+	opts.ShardLevels = 2
+	res, err := Solve(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShardInfo != nil || res.ShardState != nil {
+		t.Fatal("ShardLevels without Shards must not report shard metadata")
+	}
+	if res.Audit.Cost != base.Audit.Cost || res.LPCost != base.LPCost {
+		t.Fatalf("ShardLevels without Shards changed the solve: cost %v vs %v",
+			res.Audit.Cost, base.Audit.Cost)
+	}
+}
+
+// TestHierarchicalChurnDirtiesOneLeaf is the hierarchy's churn-stability
+// contract: leaves ARE the flat cost-anchor partition, so a single-sink
+// delta routed through an incremental session must patch exactly the one
+// leaf shard owning that sink — the super-shard layer adds no churn
+// amplification.
+func TestHierarchicalChurnDirtiesOneLeaf(t *testing.T) {
+	cc := gen.DefaultClustered(2, 3, 3, 8)
+	cc.Fanout = int(1.5*float64(cc.Fanout) + 0.5) // headroom: no exchange rounds
+	in := gen.Clustered(cc, 7)
+
+	opts := DefaultOptions(7)
+	opts.Shards = 3
+	opts.ShardLevels = 2
+	opts.IncrementalLP = true
+	sess := NewSession(opts, 0, true)
+
+	res, err := sess.Step(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si := res.ShardInfo
+	if si == nil || si.Shards != 3 || si.Levels != 2 {
+		t.Fatalf("expected a 3-shard 2-level solve, got %+v", si)
+	}
+	state := res.ShardState
+	if state == nil || len(state.Sinks) != 3 {
+		t.Fatal("no shard state carried")
+	}
+
+	// Touch one sink of leaf shard 1 only.
+	target := state.Sinks[1][0]
+	d := netmodel.Delta{Note: "single-sink retarget",
+		SetThreshold: []netmodel.SinkValue{{Sink: target, Value: 0.9}}}
+	ds, err := d.Apply(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Observe(ds)
+	res, err = sess.Step(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si = res.ShardInfo
+	t.Logf("patches per leaf after single-sink delta: %v (exchange rounds=%d)",
+		si.PerShardPatches, si.ExchangeRounds)
+	if si.PerShardPatches[1] == 0 {
+		t.Fatal("dirty leaf reported zero patches")
+	}
+	for s := range si.PerShardPatches {
+		if s == 1 {
+			continue
+		}
+		if si.PerShardPatches[s] != 0 || si.PerShardRebuilds[s] != 0 {
+			t.Fatalf("untouched leaf %d was patched (%d cells, %d rebuilds)",
+				s, si.PerShardPatches[s], si.PerShardRebuilds[s])
+		}
+	}
+	// All three leaves reuse their cached sub-instance: the clean two have
+	// nothing routed to them, and the dirty one's delta is value-patched in
+	// place rather than re-extracted.
+	if si.ExtractionsSkipped < 2 {
+		t.Fatalf("clean leaves should skip extraction: got %d skips", si.ExtractionsSkipped)
+	}
+}
+
+// TestHierarchicalAggregationSandwich composes all three scaling layers:
+// viewer aggregation folds the sink axis, the fold is partitioned into
+// leaves, and the hierarchical exchange coordinates capacity — with the full
+// stage sandwich visible in Result.Stages and the disaggregated design
+// passing the audit on the true instance.
+func TestHierarchicalAggregationSandwich(t *testing.T) {
+	in := gen.Clustered(gen.DefaultClustered(2, 3, 3, 8), 5)
+	opts := DefaultOptions(11)
+	opts.Shards = 3
+	opts.ShardLevels = 2
+	opts.Aggregate = &agg.Config{}
+	res, err := Solve(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"aggregate", "shard-partition", "shard-solve", "shard-exchange", "audit", "disaggregate"}
+	if len(res.Stages) != len(want) {
+		t.Fatalf("got %d stages %v, want %v", len(res.Stages), res.Stages, want)
+	}
+	for i, name := range want {
+		if res.Stages[i].Name != name {
+			t.Fatalf("stage %d = %q, want %q", i, res.Stages[i].Name, name)
+		}
+	}
+	if res.ShardInfo == nil || res.ShardInfo.Levels != 2 {
+		t.Fatalf("ShardInfo = %+v, want Levels 2", res.ShardInfo)
+	}
+	if !res.Audit.StructureOK {
+		t.Fatal("composed design violates structure constraints on the true instance")
+	}
+	if !MeetsGuarantee(res.Audit, res.PathRounding) {
+		t.Fatalf("composed design misses the paper guarantee: %v", res.Audit)
+	}
+}
+
+// TestHierAggAcceptance100k is the composed-scale acceptance: a 10^5-viewer,
+// 200-reflector epoch through aggregation + hierarchical sharding must land
+// under 30 s of wall with the full stage sandwich visible. Env-gated with
+// the other heavy acceptance runs:
+//
+//	OVERLAY_EXCHANGE_ACCEPTANCE=1 go test ./internal/core/ -run TestHierAggAcceptance100k -timeout 10m
+func TestHierAggAcceptance100k(t *testing.T) {
+	if os.Getenv("OVERLAY_EXCHANGE_ACCEPTANCE") == "" {
+		t.Skip("set OVERLAY_EXCHANGE_ACCEPTANCE=1 to run the 10^5-viewer composed acceptance")
+	}
+	cfg := gen.DefaultClustered(2, 10, 5, 10_000) // 10 regions × 10^4 viewers
+	cfg.ReflectorsPerColo = 4                     // 10·5·4 = 200 reflectors
+	in := gen.Clustered(cfg, 7)
+	in.Color = nil
+	in.NumColors = 0
+	if in.NumViewers() != 100_000 || in.NumReflectors != 200 {
+		t.Fatalf("workload shape drifted: %d viewers, %d reflectors", in.NumViewers(), in.NumReflectors)
+	}
+
+	opts := DefaultOptions(7)
+	// Colo-granular grouping: per-reflector anchors would inflate the fold
+	// to ~350 groups at R=200 and put minutes back into the leaf LPs — the
+	// whole reason agg.ColoGroups exists (and overlaysolve's -agg-colo).
+	opts.Aggregate = &agg.Config{GroupOf: agg.ColoGroups(in, 4)}
+	opts.Shards = 8
+	opts.ShardLevels = 2
+	start := time.Now()
+	res, err := Solve(in, opts)
+	wall := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"aggregate", "shard-partition", "shard-solve", "shard-exchange", "audit", "disaggregate"}
+	if len(res.Stages) != len(want) {
+		t.Fatalf("got stages %v, want %v", res.Stages, want)
+	}
+	for i, name := range want {
+		if res.Stages[i].Name != name {
+			t.Fatalf("stage %d = %q, want %q", i, res.Stages[i].Name, name)
+		}
+	}
+	t.Logf("10^5-viewer 200-reflector composed epoch: %v wall, cost %.1f, auditOK=%v, exchange rounds=%d",
+		wall, res.Audit.Cost, res.AuditOK(), res.ShardInfo.ExchangeRounds)
+	if !res.AuditOK() {
+		t.Fatal("composed design failed the audit on the true instance")
+	}
+	if wall > 30*time.Second {
+		t.Fatalf("composed epoch took %v, budget 30s", wall)
+	}
+}

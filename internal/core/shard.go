@@ -40,7 +40,9 @@ func solveSharded(in *netmodel.Instance, opts Options) (*Result, error) {
 		Shards:  k,
 		Workers: opts.ShardWorkers,
 		Rounds:  opts.ShardRounds,
+		Levels:  opts.ShardLevels,
 	}
+	hierarchical := opts.ShardLevels >= 2
 
 	// localDirty is filled by the shard-partition stage: the epoch's global
 	// dirty set routed through the stable sink partition, so a churn event
@@ -90,7 +92,7 @@ func solveSharded(in *netmodel.Instance, opts Options) (*Result, error) {
 				patchNS += st.Wall.Nanoseconds()
 			}
 		}
-		return &shard.SolveResult{
+		sr := &shard.SolveResult{
 			BuildWallNS: buildNS,
 			PatchWallNS: patchNS,
 			Design:      res.Design,
@@ -104,7 +106,20 @@ func solveSharded(in *netmodel.Instance, opts Options) (*Result, error) {
 			Basis:       res.WarmStartBasis(),
 			LPStats:     res.LPStats,
 			Patch:       res.Patch,
-		}, nil
+		}
+		if frac := res.Frac; frac != nil && frac.CapDuals != nil {
+			// The shard's capacity bid: the marginal objective value of one
+			// more unit of fanout at each reflector, |dual|·ẑ_i (the dual
+			// prices the row's rhs; an extra fanout unit scales with the
+			// fractional build level). Zero where the row is slack.
+			sr.CapPrice = make([]float64, len(frac.CapDuals))
+			for i, y := range frac.CapDuals {
+				if v := -y * frac.Z[i]; v > 0 {
+					sr.CapPrice[i] = v
+				}
+			}
+		}
+		return sr, nil
 	}
 
 	ps = &pipelineState{in: in, opts: opts}
@@ -131,7 +146,11 @@ func solveSharded(in *netmodel.Instance, opts Options) (*Result, error) {
 			return ps.plan.SolveAll(solveFn)
 		}},
 		{Name: "shard-coordinate", Run: func(ps *pipelineState) error {
-			out, err := ps.plan.Coordinate(solveFn)
+			coordinate := ps.plan.Coordinate
+			if hierarchical {
+				coordinate = ps.plan.Exchange
+			}
+			out, err := coordinate(solveFn)
 			if err != nil {
 				return err
 			}
@@ -144,6 +163,12 @@ func solveSharded(in *netmodel.Instance, opts Options) (*Result, error) {
 			return nil
 		}},
 	}
+	if hierarchical {
+		// The exchange is a different coordination algorithm, so it runs —
+		// and reports — under its own stage name; the flat stage list stays
+		// byte-identical for existing consumers.
+		stages[2].Name = "shard-exchange"
+	}
 	if err := tracker.runAll(stages, ps); err != nil {
 		if errors.Is(err, lpmodel.ErrInfeasible) {
 			res, ferr := solveMono(in, opts)
@@ -151,6 +176,9 @@ func solveSharded(in *netmodel.Instance, opts Options) (*Result, error) {
 				return nil, ferr
 			}
 			res.ShardInfo = &ShardInfo{Shards: k, Fallback: true}
+			if hierarchical {
+				res.ShardInfo.Levels = 2
+			}
 			return res, nil
 		}
 		return nil, fmt.Errorf("core: %w", err)
@@ -165,7 +193,7 @@ func solveSharded(in *netmodel.Instance, opts Options) (*Result, error) {
 		PathRounding: usePathRounding(in, opts),
 		Retries:      out.Retries,
 		Timings: Timings{
-			LP:        tracker.wallOf("shard-solve") + tracker.wallOf("shard-coordinate"),
+			LP:        tracker.wallOf("shard-solve") + tracker.wallOf(stages[2].Name),
 			LPPivots:  out.Pivots,
 			TotalVars: out.Vars,
 			TotalRows: out.Rows,
@@ -173,17 +201,21 @@ func solveSharded(in *netmodel.Instance, opts Options) (*Result, error) {
 		Stages:  tracker.stats,
 		LPStats: out.LPStats,
 		ShardInfo: &ShardInfo{
-			Shards:             ps.plan.Shards(),
-			Rounds:             out.Rounds,
-			Resolves:           out.Resolves,
-			ConsolidatedBuilds: out.ConsolidatedBuilds,
-			PerShardPivots:     out.PerShardPivots,
-			PerShardPatches:    out.PerShardPatches,
-			PerShardRebuilds:   out.PerShardRebuilds,
-			LPBuildNS:          out.LPBuildNS,
-			LPPatchNS:          out.LPPatchNS,
-			ExtractionsSkipped: out.ExtractionsSkipped,
-			PerShardStats:      out.PerShardStats,
+			Shards:              ps.plan.Shards(),
+			Rounds:              out.Rounds,
+			Resolves:            out.Resolves,
+			ConsolidatedBuilds:  out.ConsolidatedBuilds,
+			PerShardPivots:      out.PerShardPivots,
+			PerShardPatches:     out.PerShardPatches,
+			PerShardRebuilds:    out.PerShardRebuilds,
+			LPBuildNS:           out.LPBuildNS,
+			LPPatchNS:           out.LPPatchNS,
+			ExtractionsSkipped:  out.ExtractionsSkipped,
+			PerShardStats:       out.PerShardStats,
+			Levels:              out.Levels,
+			ExchangeRounds:      out.ExchangeRounds,
+			ContestedReflectors: out.ContestedReflectors,
+			ExchangeGap:         out.ExchangeGap,
 		},
 		ShardState: out.State,
 	}

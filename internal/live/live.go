@@ -215,6 +215,11 @@ type EpochReport struct {
 	FTUpdates          int `json:"ft_updates"`
 	DevexResets        int `json:"devex_resets"`
 	ExtractionsSkipped int `json:"extractions_skipped"`
+	// Hierarchical-exchange telemetry (zero unless the epoch ran with
+	// Solver.ShardLevels ≥ 2): dual-price clearing rounds, distinct
+	// reflectors re-cleared, and the final relative bid/ask gap.
+	ExchangeRounds int     `json:"exchange_rounds,omitempty"`
+	ExchangeGap    float64 `json:"exchange_gap,omitempty"`
 	// SLOOk reports whether this epoch met the availability target
 	// (MetDemand ≥ SLOTarget × ActiveSinks); SLOWindowFrac is the fraction
 	// of the trailing SLOWindow epochs (including this one) that did.
@@ -256,6 +261,7 @@ type RunReport struct {
 	TotalFTUpdates          int `json:"total_ft_updates"`
 	TotalDevexResets        int `json:"total_devex_resets"`
 	TotalExtractionsSkipped int `json:"total_extractions_skipped"`
+	TotalExchangeRounds     int `json:"total_exchange_rounds"`
 	// Availability SLO summary: the window/target the tracker ran with,
 	// the number of epochs missing the target, and the worst trailing-
 	// window availability seen over the timeline.
@@ -421,6 +427,8 @@ func Run(sc *Scenario, cfg Config) (*RunReport, error) {
 		er.DevexResets = res.LPStats.DevexResets
 		if si := res.ShardInfo; si != nil {
 			er.ExtractionsSkipped = si.ExtractionsSkipped
+			er.ExchangeRounds = si.ExchangeRounds
+			er.ExchangeGap = si.ExchangeGap
 			for _, n := range si.PerShardPatches {
 				er.LPPatches += n
 			}
@@ -523,6 +531,7 @@ func Run(sc *Scenario, cfg Config) (*RunReport, error) {
 		rep.TotalFTUpdates += er.FTUpdates
 		rep.TotalDevexResets += er.DevexResets
 		rep.TotalExtractionsSkipped += er.ExtractionsSkipped
+		rep.TotalExchangeRounds += er.ExchangeRounds
 		if !er.AuditOK {
 			rep.AllAuditOK = false
 		}

@@ -1,5 +1,7 @@
 package lp
 
+import "math"
+
 // The persistent basis factorization. A solve's final eta file used to die
 // with the solver's working state: every warm start paid a full
 // refactorization at install even when the basis — and the matrix — had not
@@ -69,25 +71,73 @@ func (s *sparse) snapshotFactorization() *Factorization {
 	}
 }
 
+// fingerprint hashes the constraint matrix of p — dimensions, sparsity
+// pattern, relations, and coefficient values (FNV-1a over the row storage;
+// rhs, bounds, and objective are deliberately excluded: they do not enter
+// the basis matrix B). Two Problems with equal fingerprints factorize the
+// same B for the same basic set, which is what lets a rebuilt-but-identical
+// Problem adopt a factorization snapshotted from another (see
+// adoptFactorization). Computed on demand and never cached: solves of a
+// precomputed Problem may run concurrently, and a cache write here would
+// race them.
+func (p *Problem) fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(p.n))
+	mix(uint64(len(p.rows)))
+	for _, rw := range p.rows {
+		mix(uint64(rw.rel))
+		mix(uint64(len(rw.coefs)))
+		for _, c := range rw.coefs {
+			mix(uint64(c.Var))
+			mix(math.Float64bits(c.Val))
+		}
+	}
+	return h
+}
+
 // adoptFactorization installs a carried factorization instead of
-// refactorizing, when it is valid for the current problem state: same
-// Problem and shape, a basic set agreeing with the statuses installWarm just
-// loaded, and no structural column that is basic in the handle patched since
-// the snapshot. Returns false when the caller must refactorize. On success
-// the basic values are recomputed against the current rhs and bounds, and
-// the carried update file — if it already outgrew the cadence — is collapsed
-// by an immediate refactorization (the Forrest–Tomlin file cannot be allowed
-// to grow without bound across epochs: the etaDrop truncation per eta would
-// otherwise accumulate past the feasibility audit's tolerance).
+// refactorizing, when it is valid for the current problem state: a basic set
+// agreeing with the statuses installWarm just loaded, and a basis matrix
+// that provably has not changed under the eta file. Two routes establish
+// that: the SAME Problem with no structural column that is basic in the
+// handle patched since the snapshot (the Patcher path), or a DIFFERENT
+// Problem whose constraint matrix fingerprints identically to the donor's —
+// the rebuilt-but-identical-shape case, where the donor must itself be
+// unpatched since the snapshot so its current fingerprint still describes
+// the matrix the file was built from. Returns false when the caller must
+// refactorize. On success the basic values are recomputed against the
+// current rhs and bounds, and the carried update file — if it already
+// outgrew the cadence — is collapsed by an immediate refactorization (the
+// Forrest–Tomlin file cannot be allowed to grow without bound across epochs:
+// the etaDrop truncation per eta would otherwise accumulate past the
+// feasibility audit's tolerance).
 func (s *sparse) adoptFactorization(f *Factorization) bool {
-	if f == nil || f.prob != s.p || f.m != s.m || len(f.basis) != s.m || len(f.artSign) != s.m {
+	if f == nil || f.m != s.m || len(f.basis) != s.m || len(f.artSign) != s.m {
 		return false
+	}
+	sameProb := f.prob == s.p
+	if !sameProb {
+		if f.prob == nil || f.prob.patchVer != f.ver || f.prob.n != s.p.n ||
+			f.prob.fingerprint() != s.p.fingerprint() {
+			return false
+		}
 	}
 	for _, c := range f.basis {
 		if s.stat[c] != basic {
 			return false
 		}
-		if c < s.n && s.p.colVer != nil && s.p.colVer[c] > f.ver {
+		if sameProb && c < s.n && s.p.colVer != nil && s.p.colVer[c] > f.ver {
 			return false // patched basic column: B changed under the file
 		}
 	}
@@ -100,6 +150,15 @@ func (s *sparse) adoptFactorization(f *Factorization) bool {
 	s.emit(EventFTAdoption)
 	if s.updates.count() >= s.refactorEvery {
 		return s.refactor()
+	}
+	// The matrix VALUES may have moved since the snapshot even though no
+	// basic column did — nonbasic coefficient patches (the price-exchange
+	// master rescaling contested capacity rows) and cross-Problem adoptions
+	// both land here. The devex reference weights describe the pre-patch
+	// pricing geometry; without a reset the re-solve can chase stale
+	// steepest-edge estimates into a degenerate stall.
+	if !sameProb || f.ver != s.p.patchVer {
+		s.resetDevex()
 	}
 	s.computeBeta()
 	return true

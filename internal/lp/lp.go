@@ -434,6 +434,30 @@ type Solution struct {
 	Basis *Basis
 	// Stats counts factorization events (sparse solver only).
 	Stats SolveStats
+	// Duals holds the row dual values y = c_B·B⁻¹ at the optimum (sparse
+	// solver only; nil from the dense reference solver and at non-Optimal
+	// statuses). Duals[r] is the shadow price of row r's right-hand side:
+	// the rate of change of the optimal objective per unit of rhs_r. Under
+	// this minimization convention a binding ≤ row has Duals[r] ≤ 0 and a
+	// binding ≥ row has Duals[r] ≥ 0; nonbinding rows price at 0.
+	Duals []float64
+}
+
+// DualsFor gathers the dual values of the given rows (see Solution.Duals).
+// It returns nil when the solve produced no duals — non-Optimal status, or
+// the dense reference solver — so callers can fall back gracefully.
+// Out-of-range row indices read as 0.
+func (sol *Solution) DualsFor(rows []int) []float64 {
+	if sol == nil || sol.Duals == nil {
+		return nil
+	}
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		if r >= 0 && r < len(sol.Duals) {
+			out[i] = sol.Duals[r]
+		}
+	}
+	return out
 }
 
 // Pricing selects the entering-variable rule of the sparse solver.

@@ -497,7 +497,7 @@ func TestRowEquilibratedCloneSameLP(t *testing.T) {
 	if err != nil || want.Status != Optimal {
 		t.Fatalf("original solve: %v / %v", err, want)
 	}
-	q := p.rowEquilibratedClone()
+	q, _ := p.rowEquilibratedClone()
 	got, err := q.Solve()
 	if err != nil || got.Status != Optimal {
 		t.Fatalf("clone solve: %v / %v", err, got)

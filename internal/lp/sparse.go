@@ -1412,8 +1412,11 @@ func (s *sparse) snapshotBasis() *Basis {
 // rows that mix O(10^3) aggregate unit loads with O(10) fanout coefficients
 // feed the eta file pivots of wildly different magnitude, and the
 // accumulated error eventually presents as a singular basis or a failed
-// ratio test under EVERY pricing rule.
-func (p *Problem) rowEquilibratedClone() *Problem {
+// ratio test under EVERY pricing rule. The returned scale vector holds the
+// per-row divisors, which is what maps the clone's duals back: clone row r
+// is row_r/scale_r with rhs_r/scale_r, so the original shadow price is
+// y_clone[r]/scale[r].
+func (p *Problem) rowEquilibratedClone() (*Problem, []float64) {
 	q := &Problem{
 		n:    p.n,
 		obj:  append([]float64(nil), p.obj...),
@@ -1421,6 +1424,7 @@ func (p *Problem) rowEquilibratedClone() *Problem {
 		hi:   append([]float64(nil), p.hi...),
 		rows: make([]row, len(p.rows)),
 	}
+	scale := make([]float64, len(p.rows))
 	for r, rw := range p.rows {
 		s := 0.0
 		for _, c := range rw.coefs {
@@ -1431,13 +1435,14 @@ func (p *Problem) rowEquilibratedClone() *Problem {
 		if s == 0 {
 			s = 1
 		}
+		scale[r] = s
 		coefs := make([]Coef, len(rw.coefs))
 		for i, c := range rw.coefs {
 			coefs[i] = Coef{Var: c.Var, Val: c.Val / s}
 		}
 		q.rows[r] = row{coefs: coefs, rel: rw.rel, rhs: rw.rhs / s}
 	}
-	return q
+	return q, scale
 }
 
 // solveSparse orchestrates the sparse solver with a recovery ladder: warm
@@ -1460,6 +1465,10 @@ func (p *Problem) solveSparse(opts Options) (*Solution, error) {
 		}
 		if st == Optimal {
 			sol.Basis = s.snapshotBasis()
+			// At an optimum the solver sits in phase 2, so c_B·B⁻¹ prices
+			// the true objective: these are the row shadow prices the
+			// decomposition layers read back (Solution.DualsFor).
+			sol.Duals = append([]float64(nil), s.btranCost()[:s.m]...)
 		}
 		return sol
 	}
@@ -1537,19 +1546,26 @@ func (p *Problem) solveSparse(opts Options) (*Solution, error) {
 		// basis is NOT carried out: its factorization is of the scaled rows
 		// and must not warm-start the original problem.
 		for _, o := range []Options{opts, alt} {
-			q := p.rowEquilibratedClone()
+			q, scale := p.rowEquilibratedClone()
 			s3 := newSparse(q, o)
 			st3 := s3.runCold()
 			totalIters += s3.iters
 			totalStats.Add(s3.stats)
 			if st3 == Optimal {
 				if x := s3.extract(); p.CheckFeasible(x, 1e-6) == nil {
+					// The clone's duals price the SCALED rows; undo the
+					// per-row divisor so the caller sees p's shadow prices.
+					duals := append([]float64(nil), s3.btranCost()[:s3.m]...)
+					for r := range duals {
+						duals[r] /= scale[r]
+					}
 					return &Solution{
 						Status:     Optimal,
 						X:          x,
 						Objective:  p.objectiveOf(x),
 						Iterations: totalIters,
 						Stats:      totalStats,
+						Duals:      duals,
 					}, nil
 				}
 			}

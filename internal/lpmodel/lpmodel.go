@@ -108,6 +108,14 @@ func (m *VarMap) Y(k, i int) int { return m.YOff + k*m.R + i }
 // X returns the index of x_{ij}.
 func (m *VarMap) X(i, j int) int { return m.XOff + i*m.D + j }
 
+// CapRow returns the LP row index of reflector i's fanout-capacity
+// constraint (3). Build emits rows in a fixed order — the S·R rows of (1),
+// the R·D rows of (2), then the R capacity rows — so the index is pure
+// arithmetic and holds for every Options combination (the optional row
+// families all come after). The price-exchange coordination reads shadow
+// prices off exactly these rows.
+func (m *VarMap) CapRow(i int) int { return m.S*m.R + m.R*m.D + i }
+
 // NewVarMap lays out variables for an instance.
 func NewVarMap(in *netmodel.Instance) *VarMap {
 	S, R, D := in.Dims()
@@ -316,6 +324,13 @@ type FracSolution struct {
 	// Stats counts solver factorization events (refactorizations, adopted
 	// factorizations, devex resets) for the epoch telemetry.
 	Stats lp.SolveStats
+	// CapDuals[i] is the shadow price of reflector i's capacity row (3) at
+	// the optimum: the rate of change of the optimal cost per unit of the
+	// row's rhs, ≤ 0 when the capacity binds (relaxing it helps a
+	// minimization) and 0 when it is slack. Nil when the solve produced no
+	// duals (recovery paths that end on the dense reference solver). The
+	// hierarchical shard coordination quotes these as capacity bids.
+	CapDuals []float64
 }
 
 // Unpack converts a flat LP vector into a FracSolution.
@@ -368,6 +383,13 @@ func SolveBuiltOpts(in *netmodel.Instance, p *lp.Problem, m *VarMap, sopts lp.Op
 	fs := Unpack(in, m, sol.X, sol.Objective, sol.Iterations)
 	fs.Basis = sol.Basis
 	fs.Stats = sol.Stats
+	if sol.Duals != nil {
+		rows := make([]int, m.R)
+		for i := range rows {
+			rows[i] = m.CapRow(i)
+		}
+		fs.CapDuals = sol.DualsFor(rows)
+	}
 	return fs, nil
 }
 

@@ -259,3 +259,57 @@ func TestFixedShapePinsRowsAndOptimum(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCapRowAndCapDuals locks the capacity-row arithmetic and the dual
+// plumbing: VarMap.CapRow must point at the row whose coefficient pattern is
+// constraint (3) — D unit loads then −F_i on z_i — and the CapDuals a solve
+// returns must be sign-correct shadow prices obeying complementary
+// slackness on the capacity rows.
+func TestCapRowAndCapDuals(t *testing.T) {
+	cfg := gen.DefaultUniform(2, 4, 12)
+	cfg.FanoutLo, cfg.FanoutHi = 3, 4 // tight capacity: some rows must bind
+	in := gen.Uniform(cfg, 11)
+	p, m := Build(in, DefaultOptions(in))
+	S, R, D := in.Dims()
+	for i := 0; i < R; i++ {
+		r := m.CapRow(i)
+		if r != S*R+R*D+i {
+			t.Fatalf("CapRow(%d) = %d, want %d", i, r, S*R+R*D+i)
+		}
+		if p.RowLen(r) != D+1 {
+			t.Fatalf("capacity row %d has %d coefficients, want %d", i, p.RowLen(r), D+1)
+		}
+		zc := p.RowCoef(r, D)
+		if zc.Var != m.Z(i) || zc.Val != -in.Fanout[i] {
+			t.Fatalf("capacity row %d: z coefficient %+v, want var %d val %g", i, zc, m.Z(i), -in.Fanout[i])
+		}
+	}
+	fs, err := SolveBuiltOpts(in, p, m, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.CapDuals) != R {
+		t.Fatalf("CapDuals has %d entries, want %d", len(fs.CapDuals), R)
+	}
+	bound := 0
+	for i := 0; i < R; i++ {
+		y := fs.CapDuals[i]
+		if y > 1e-7 {
+			t.Fatalf("reflector %d: capacity dual %g > 0 on a ≤ row of a minimization", i, y)
+		}
+		use := 0.0
+		for j := 0; j < D; j++ {
+			use += in.UnitLoad(j) * fs.X[i][j]
+		}
+		slack := in.Fanout[i]*fs.Z[i] - use
+		if math.Abs(y*slack) > 1e-5*(1+in.Fanout[i]) {
+			t.Fatalf("reflector %d: dual %g with slack %g violates complementary slackness", i, y, slack)
+		}
+		if y < -1e-7 {
+			bound++
+		}
+	}
+	if bound == 0 {
+		t.Fatal("tight-capacity instance produced no binding capacity row — the duals test is vacuous")
+	}
+}
