@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Assert a Prometheus text-format dump declares every named metric family.
+#
+#   check-metric-families.sh METRICS_FILE FAMILY...
+#
+# On a missing family the whole dump is printed for the job log before
+# failing, so the breakage is diagnosable from CI output alone.
+set -euo pipefail
+file=$1
+shift
+for m in "$@"; do
+  if ! grep -q "^# TYPE $m " "$file"; then
+    echo "missing metric family $m" >&2
+    cat "$file"
+    exit 1
+  fi
+done

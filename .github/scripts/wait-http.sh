@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Poll an HTTP endpoint until it answers 2xx.
+#
+#   wait-http.sh URL [TRIES] [SLEEP]
+#
+# Exits 0 as soon as curl succeeds, 1 after TRIES (default 100) attempts
+# SLEEP (default 0.2s) apart. Used by the smoke jobs to wait for a
+# just-launched server's /healthz before scraping it.
+set -euo pipefail
+url=$1
+tries=${2:-100}
+pause=${3:-0.2}
+for _ in $(seq 1 "$tries"); do
+  if curl -sf "$url" > /dev/null; then
+    exit 0
+  fi
+  sleep "$pause"
+done
+echo "endpoint $url never came up" >&2
+exit 1

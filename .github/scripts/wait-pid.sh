@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Wait for a background process (pid recorded in a file) to exit.
+#
+#   wait-pid.sh PIDFILE [TRIES] [SLEEP]
+#
+# Exits 0 once the pid is gone, 1 if it is still alive after TRIES
+# (default 240) checks SLEEP (default 0.5s) apart — a hung timeline fails
+# the job instead of feeding half-written artifacts to the checks below.
+set -euo pipefail
+pid=$(cat "$1")
+tries=${2:-240}
+pause=${3:-0.5}
+for _ in $(seq 1 "$tries"); do
+  if ! kill -0 "$pid" 2>/dev/null; then
+    exit 0
+  fi
+  sleep "$pause"
+done
+echo "process $pid still running after $tries checks" >&2
+exit 1

@@ -262,11 +262,18 @@ func main() {
 						Frac: ra.Frac, WindowFrac: ra.WindowFrac,
 					})
 				}
+				streams := make([]obs.StreamSLO, 0, len(er.Streams))
+				for _, sa := range er.Streams {
+					streams = append(streams, obs.StreamSLO{
+						Stream: sa.Stream, Active: sa.Active, Met: sa.Met,
+						Frac: sa.Frac, WindowFrac: sa.WindowFrac,
+					})
+				}
 				server.SetSLO(obs.SLOStatus{
 					Window: *sloWindow, Target: *sloTarget,
 					Ok: er.SLOOk, WindowFrac: er.SLOWindowFrac,
 					Breaches: breaches, MinWindowFrac: minWin,
-					Regions: regions,
+					Regions: regions, Streams: streams,
 				})
 			}
 			if *pace > 0 {

@@ -123,17 +123,29 @@ func Build(in *netmodel.Instance, cfg Config) (*State, error) {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	members := make([][]int, len(keys))
+	for a, k := range keys {
+		members[a] = byKey[k]
+	}
+	return buildFromMembers(in, members)
+}
 
+// buildFromMembers constructs the full State — aggregate instance, unit
+// maps, demand/loss/cost summaries — from a membership partition alone.
+// Everything below the membership is a pure function of (members, current
+// instance), which is what lets Restore rebuild a serialized State against
+// the restored instance without persisting any derived cache.
+func buildFromMembers(in *netmodel.Instance, members [][]int) (*State, error) {
+	units := in.ViewerUnits()
 	st := &State{
-		members: make([][]int, len(keys)),
+		members: members,
 		unitOf:  make([]int, in.NumSinks),
 	}
 	// One aggregate unit per (aggregate, slot); slots in sorted-commodity
 	// order within an aggregate.
 	var aggCommodity []int
-	for a, k := range keys {
-		st.members[a] = byKey[k]
-		rep := byKey[k][0]
+	for _, mem := range members {
+		rep := mem[0]
 		slots := make([]int, len(units[rep]))
 		for t, j := range units[rep] {
 			slots[t] = in.Commodity[j]
@@ -142,8 +154,8 @@ func Build(in *netmodel.Instance, cfg Config) (*State, error) {
 		for _, stream := range slots {
 			au := len(aggCommodity)
 			aggCommodity = append(aggCommodity, stream)
-			mus := make([]int, 0, len(byKey[k]))
-			for _, g := range byKey[k] {
+			mus := make([]int, 0, len(mem))
+			for _, g := range mem {
 				mus = append(mus, in.FindUnit(g, stream))
 			}
 			st.memberUnits = append(st.memberUnits, mus)

@@ -1,0 +1,97 @@
+package agg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netmodel"
+)
+
+// Serialization of an aggregation State. Only the membership partition is
+// persisted: every derived structure — the aggregate instance, unit maps,
+// demand/loss/cost summaries, the weight scale — is a pure function of
+// (membership, current true instance) and is rebuilt by Restore via the
+// same buildFromMembers path Build uses. Persisting the partition rather
+// than the caches keeps the snapshot small AND self-healing: a restored
+// daemon re-summarizes against the instance it actually restored, so the
+// aggregate plane can never drift out of sync with the sink plane it
+// summarizes. Aggregate ORDER is the membership order, so a restored State
+// reproduces the exact unit indexing (and hence LP column order) of the
+// State it was exported from.
+type StateData struct {
+	Members [][]int `json:"members"`
+}
+
+// Export captures the membership partition for serialization. Returns nil
+// for a nil state.
+func (st *State) Export() *StateData {
+	if st == nil {
+		return nil
+	}
+	d := &StateData{Members: make([][]int, len(st.members))}
+	for a, mem := range st.members {
+		d.Members[a] = append([]int(nil), mem...)
+	}
+	return d
+}
+
+// Restore rebuilds a State from a serialized membership against in, which
+// must be the (restored) true instance the partition was built over: same
+// viewer count, and every aggregate's viewers subscribing to the same
+// stream-slot set — the invariants Build's keying guaranteed, revalidated
+// here because the payload crossed a process boundary.
+func Restore(in *netmodel.Instance, d *StateData) (*State, error) {
+	if d == nil {
+		return nil, fmt.Errorf("agg: restore: nil data")
+	}
+	if in.Weighted() {
+		return nil, fmt.Errorf("agg: restore: instance is already aggregated")
+	}
+	G := in.NumViewers()
+	units := in.ViewerUnits()
+	slotsOf := func(g int) []int {
+		slots := make([]int, len(units[g]))
+		for t, j := range units[g] {
+			slots[t] = in.Commodity[j]
+		}
+		sort.Ints(slots)
+		return slots
+	}
+	seen := make([]bool, G)
+	covered := 0
+	members := make([][]int, len(d.Members))
+	for a, mem := range d.Members {
+		if len(mem) == 0 {
+			return nil, fmt.Errorf("agg: restore: aggregate %d is empty", a)
+		}
+		for _, g := range mem {
+			if g < 0 || g >= G {
+				return nil, fmt.Errorf("agg: restore: aggregate %d member %d outside [0,%d)", a, g, G)
+			}
+			if seen[g] {
+				return nil, fmt.Errorf("agg: restore: viewer %d appears in two aggregates", g)
+			}
+			seen[g] = true
+			covered++
+		}
+		repSlots := slotsOf(mem[0])
+		for _, g := range mem {
+			gs := slotsOf(g)
+			if len(gs) != len(repSlots) {
+				return nil, fmt.Errorf("agg: restore: aggregate %d mixes slot sets (viewer %d has %d slots, viewer %d has %d)",
+					a, g, len(gs), mem[0], len(repSlots))
+			}
+			for t := range gs {
+				if gs[t] != repSlots[t] {
+					return nil, fmt.Errorf("agg: restore: aggregate %d mixes slot sets (viewer %d vs viewer %d)",
+						a, g, mem[0])
+				}
+			}
+		}
+		members[a] = append([]int(nil), mem...)
+	}
+	if covered != G {
+		return nil, fmt.Errorf("agg: restore: membership covers %d of %d viewers", covered, G)
+	}
+	return buildFromMembers(in, members)
+}

@@ -1,0 +1,548 @@
+// Package daemon is the long-running provisioning service over the live
+// re-optimization engine: overlayd. Where internal/live replays a fixed
+// scenario to completion, the daemon runs an open-ended timeline — Deltas
+// arrive continuously over HTTP, accumulate in a queue, and a solver loop
+// consumes them on a cadence (or immediately, when queued churn crosses a
+// pressure threshold), re-provisioning the overlay exactly the way §1.3's
+// monitoring loop prescribes.
+//
+// The state split is the whole design:
+//
+//   - WRITE state (instance, session, delta queue, event log, SLO tracker)
+//     lives behind one mutex and is touched only by ingest and the solver;
+//   - READ state is an immutable View published by atomic pointer swap
+//     after every solve — placement lookups, /design and /status never
+//     take the lock, so reads keep serving at full speed while a solve
+//     runs.
+//
+// Everything the daemon has ingested is kept as a replayable event log
+// (GET /scenario returns it in live.Scenario form, ready for overlaylive
+// -replay), and the full control state — instance, deployed design, simplex
+// basis factorization, aggregation partition, unsolved deltas — snapshots
+// to disk so a restarted daemon resumes warm: the first post-restart epoch
+// adopts the persisted basis (Forrest–Tomlin resume) instead of
+// refactorizing cold.
+package daemon
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/live"
+	"repro/internal/netmodel"
+	"repro/internal/obs"
+)
+
+// Config parameterizes a daemon. The zero value of every knob has a usable
+// default; only the instance (passed to New/Resume) is mandatory.
+type Config struct {
+	// Solver configures each epoch's solve (core.DefaultOptions(seed) if
+	// zero-valued); Stickiness/WarmStart select the re-provisioning policy,
+	// exactly as in live.Policy.
+	Solver     core.Options
+	Stickiness float64
+	WarmStart  bool
+
+	// SolveInterval is the re-optimization cadence; 0 disables the timer
+	// (solves then happen only under pressure, via POST /solve, or not at
+	// all — tests drive the loop manually).
+	SolveInterval time.Duration
+	// Pressure forces an immediate solve once this many atomic delta edits
+	// are queued; 0 means 64. Negative disables pressure solves.
+	Pressure int
+
+	// SLOWindow / SLOTarget parameterize the availability tracker feeding
+	// /slo (defaults 8 and 0.5, as in live.Config).
+	SLOWindow int
+	SLOTarget float64
+	// SinkRegion optionally maps demand units to topology regions for the
+	// per-region SLO breakdown (the per-stream breakdown needs no map).
+	SinkRegion []int
+
+	// SnapshotPath, when set, is where Save/periodic/shutdown snapshots go.
+	// SnapshotEvery > 0 additionally snapshots after every n-th solve.
+	SnapshotPath  string
+	SnapshotEvery int
+
+	// Obs receives the solver's observability signals; its registry backs
+	// the mounted /metrics endpoint. Nil runs unobserved (the HTTP API
+	// still works, minus /metrics content).
+	Obs *obs.Observer
+}
+
+func (c *Config) defaults() {
+	// Fill the solver knobs DefaultOptions would have set, without
+	// clobbering anything the caller chose.
+	if c.Solver.C == 0 {
+		c.Solver.C = 64
+	}
+	if c.Solver.MaxRetries == 0 {
+		c.Solver.MaxRetries = 8
+	}
+	if c.Solver.Seed == 0 {
+		c.Solver.Seed = 1
+	}
+	if c.Pressure == 0 {
+		c.Pressure = 64
+	}
+	if c.SLOWindow <= 0 {
+		c.SLOWindow = 8
+	}
+	if c.SLOTarget <= 0 {
+		c.SLOTarget = 0.5
+	}
+}
+
+// EpochInfo is one solve's summary: the /status payload's last_epoch and
+// POST /solve's response. All fields are deterministic in the ingest
+// history except WallNS.
+type EpochInfo struct {
+	Epoch int `json:"epoch"`
+	// Edits counts the atomic delta edits consumed by this solve.
+	Edits       int     `json:"edits"`
+	TrueCost    float64 `json:"true_cost"`
+	LPCost      float64 `json:"lp_cost"`
+	Pivots      int     `json:"pivots"`
+	ArcChurn    int     `json:"arc_churn"`
+	ViewerChurn float64 `json:"viewer_churn"`
+	// Warm-resume telemetry: FTUpdates counts warm starts that adopted a
+	// persisted factorization this epoch, Refactorizations from-scratch
+	// factorizations — the pair the restart smoke test asserts on.
+	FTUpdates        int     `json:"ft_updates"`
+	Refactorizations int     `json:"refactorizations"`
+	LPPatches        int     `json:"lp_patches"`
+	LPRebuilds       int     `json:"lp_rebuilds"`
+	ActiveSinks      int     `json:"active_sinks"`
+	BuiltReflectors  int     `json:"built_reflectors"`
+	AuditOK          bool    `json:"audit_ok"`
+	SLOOk            bool    `json:"slo_ok"`
+	SLOWindowFrac    float64 `json:"slo_window_frac"`
+	WallNS           int64   `json:"wall_ns"`
+}
+
+// Totals accumulate across the daemon's lifetime (reset by a restore —
+// they are monitoring state, not control state).
+type Totals struct {
+	Solves           int `json:"solves"`
+	Edits            int `json:"edits"`
+	Pivots           int `json:"pivots"`
+	FTUpdates        int `json:"ft_updates"`
+	Refactorizations int `json:"refactorizations"`
+	SLOBreaches      int `json:"slo_breaches"`
+}
+
+// View is the immutable published read state: everything a placement or
+// design lookup needs, swapped in atomically after each solve (and once at
+// construction/restore). Readers must not mutate it.
+type View struct {
+	// Epoch is the index of the last solved epoch (session steps - 1).
+	Epoch int
+	// In is a snapshot of the instance the design was solved against;
+	// Design the deployed design; Audit its certificate on In.
+	In     *netmodel.Instance
+	Design *netmodel.Design
+	Audit  netmodel.Audit
+	// Last summarizes the solve that produced this view (zero-valued for
+	// the view published by a restore, which re-serves the persisted
+	// design without solving).
+	Last EpochInfo
+}
+
+// Daemon is the service state. Construct with New or Resume, serve
+// Handler(), and drive the solver loop with Run (or SolveNow in tests).
+type Daemon struct {
+	cfg Config
+	srv *obs.Server
+	reg *obs.Registry
+
+	mu        sync.Mutex
+	in        *netmodel.Instance
+	base      *netmodel.Instance
+	sess      *core.Session
+	queue     []netmodel.Delta
+	qEdits    int
+	events    []live.Event
+	slo       *live.SLOTracker
+	totals    Totals
+	sinceSnap int
+	start     time.Time
+
+	view atomic.Pointer[View]
+	kick chan struct{}
+}
+
+// New builds a daemon over a clone of in and performs the initial
+// provisioning solve (epoch 0), so placement lookups work the moment the
+// listener is up.
+func New(in *netmodel.Instance, cfg Config) (*Daemon, error) {
+	if in == nil {
+		return nil, fmt.Errorf("daemon: nil instance")
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("daemon: %w", err)
+	}
+	cfg.defaults()
+	d := newDaemon(in, cfg)
+	d.sess = core.NewSession(d.cfg.Solver, d.cfg.Stickiness, d.cfg.WarmStart)
+	if _, err := d.SolveNow(); err != nil {
+		return nil, fmt.Errorf("daemon: initial provisioning: %w", err)
+	}
+	return d, nil
+}
+
+// Resume rebuilds a daemon from a snapshot: the session resumes at its
+// persisted step counter with the persisted deployment, basis
+// factorization and aggregation partition; unsolved deltas re-queue; and
+// the pre-restart placement view is re-published verbatim (same design,
+// same instance), so lookups across the restart are byte-identical. The
+// SLO window and lifetime totals restart — they are monitoring state.
+func Resume(snap *Snapshot, cfg Config) (*Daemon, error) {
+	if err := snap.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.defaults()
+	d := newDaemon(snap.Instance, cfg)
+	d.base = snap.Base.Clone()
+	sess, err := core.RestoreSession(d.in, d.cfg.Solver, d.cfg.Stickiness, d.cfg.WarmStart, snap.Session)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: resume: %w", err)
+	}
+	d.sess = sess
+	d.events = append(d.events, snap.Events...)
+	for _, del := range snap.Pending {
+		d.queue = append(d.queue, del)
+		d.qEdits += del.Size()
+	}
+	if dep := sess.Deployed(); dep != nil {
+		audit := netmodel.AuditDesign(d.in, dep)
+		d.publishLocked(dep, audit, EpochInfo{Epoch: sess.Steps() - 1})
+		// The resumed daemon is healthy before its first solve: it serves
+		// the persisted design. (The full guarantee predicate needs the
+		// rounding variant, which only the next solve knows; structure is
+		// what a re-audit of a deployed design can certify.)
+		d.srv.SetHealth(obs.HealthStatus{
+			OK: audit.StructureOK, Running: true,
+			Scenario: d.base.Name, Policy: policyName(d.cfg),
+			Epoch: sess.Steps() - 1, Epochs: sess.Steps(),
+			AuditOK: audit.StructureOK,
+		})
+	} else if _, err := d.SolveNow(); err != nil {
+		// A never-stepped snapshot restores to a fresh daemon: provision.
+		return nil, fmt.Errorf("daemon: resume provisioning: %w", err)
+	}
+	return d, nil
+}
+
+func newDaemon(in *netmodel.Instance, cfg Config) *Daemon {
+	d := &Daemon{
+		cfg:   cfg,
+		in:    in.Clone(),
+		base:  in.Clone(),
+		kick:  make(chan struct{}, 1),
+		start: time.Now(),
+	}
+	d.slo = live.NewSLOTracker(cfg.SLOWindow, cfg.SLOTarget, cfg.SinkRegion, d.in.Commodity)
+	// One registry backs everything: the mounted /metrics endpoint, the
+	// daemon's own epoch/SLO gauges, and the solver stack (the session's
+	// observer records pivots, factorization events and patch counters into
+	// the same families live.Run would).
+	d.reg = cfg.Obs.Registry()
+	if d.reg == nil {
+		d.reg = obs.NewRegistry()
+		d.cfg.Obs = &obs.Observer{Reg: d.reg}
+	}
+	obs.Canonical(d.reg)
+	d.cfg.Solver.Obs = d.cfg.Obs
+	d.srv = obs.NewServer(d.reg)
+	return d
+}
+
+// View returns the published read state (never nil after New/Resume).
+func (d *Daemon) View() *View { return d.view.Load() }
+
+// Ingest validates the deltas against the live instance and queues them
+// for the next solve, tagging each with the epoch that will consume it (so
+// the event log replays exactly). Returns the number of atomic edits
+// queued in total (including previously queued ones) and the tagged epoch.
+// On a validation error nothing is queued — a batch is all-or-nothing.
+func (d *Daemon) Ingest(deltas []netmodel.Delta) (queuedEdits, epoch int, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range deltas {
+		if err := deltas[i].Validate(d.in); err != nil {
+			return d.qEdits, d.sess.Steps(), err
+		}
+	}
+	epoch = d.sess.Steps()
+	for _, del := range deltas {
+		d.queue = append(d.queue, del)
+		d.qEdits += del.Size()
+		d.events = append(d.events, live.Event{Epoch: epoch, Delta: del})
+	}
+	if d.cfg.Pressure > 0 && d.qEdits >= d.cfg.Pressure {
+		select {
+		case d.kick <- struct{}{}:
+		default:
+		}
+	}
+	return d.qEdits, epoch, nil
+}
+
+// SolveNow drains the queue and re-optimizes immediately (the POST /solve
+// path; the solver loop and the pressure trigger funnel here too).
+func (d *Daemon) SolveNow() (EpochInfo, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.solveLocked()
+}
+
+func (d *Daemon) solveLocked() (EpochInfo, error) {
+	edits := 0
+	for i := range d.queue {
+		ds, err := d.queue[i].Apply(d.in)
+		if err != nil {
+			// Cannot happen for a queue validated at ingest (deltas never
+			// resize and validation is state-independent), but a corrupted
+			// snapshot could smuggle one in — fail the solve, keep serving.
+			return EpochInfo{}, fmt.Errorf("daemon: applying queued delta %q: %w", d.queue[i].Note, err)
+		}
+		d.sess.Observe(ds)
+		edits += d.queue[i].Size()
+	}
+	d.queue = d.queue[:0]
+	d.qEdits = 0
+
+	epoch := d.sess.Steps()
+	start := time.Now()
+	res, err := d.sess.Step(d.in)
+	if err != nil {
+		return EpochInfo{}, fmt.Errorf("daemon: epoch %d solve: %w", epoch, err)
+	}
+	verdict := d.slo.Observe(d.in.Threshold, res.Audit.Met)
+
+	info := EpochInfo{
+		Epoch:            epoch,
+		Edits:            edits,
+		TrueCost:         res.Audit.Cost,
+		LPCost:           res.LPCost,
+		Pivots:           res.Timings.LPPivots,
+		ArcChurn:         res.ArcChurn,
+		ViewerChurn:      res.ViewerChurn,
+		FTUpdates:        res.LPStats.FTUpdates,
+		Refactorizations: res.LPStats.Refactorizations,
+		ActiveSinks:      res.Audit.Sinks,
+		AuditOK:          res.AuditOK(),
+		SLOOk:            verdict.Ok,
+		SLOWindowFrac:    verdict.WindowFrac,
+		WallNS:           time.Since(start).Nanoseconds(),
+	}
+	if res.Patch != nil {
+		info.LPPatches = res.Patch.Patches()
+		if res.Patch.Rebuilt {
+			info.LPRebuilds = 1
+		}
+	}
+	if si := res.ShardInfo; si != nil {
+		for _, n := range si.PerShardPatches {
+			info.LPPatches += n
+		}
+		for _, n := range si.PerShardRebuilds {
+			info.LPRebuilds += n
+		}
+	}
+	for _, b := range res.Design.Build {
+		if b {
+			info.BuiltReflectors++
+		}
+	}
+	d.totals.Solves++
+	d.totals.Edits += edits
+	d.totals.Pivots += info.Pivots
+	d.totals.FTUpdates += info.FTUpdates
+	d.totals.Refactorizations += info.Refactorizations
+	d.totals.SLOBreaches = d.slo.Breaches()
+
+	d.publishLocked(res.Design, res.Audit, info)
+	d.serveTelemetryLocked(info, verdict)
+
+	if d.cfg.SnapshotPath != "" && d.cfg.SnapshotEvery > 0 {
+		d.sinceSnap++
+		if d.sinceSnap >= d.cfg.SnapshotEvery {
+			d.sinceSnap = 0
+			if err := d.saveSnapshotLocked(d.cfg.SnapshotPath); err != nil {
+				return info, fmt.Errorf("daemon: periodic snapshot: %w", err)
+			}
+		}
+	}
+	return info, nil
+}
+
+// publishLocked swaps in a fresh immutable view. The design is cloned (the
+// session keeps mutating its copy through stickiness diffs), the instance
+// snapshotted — readers own the view forever.
+func (d *Daemon) publishLocked(design *netmodel.Design, audit netmodel.Audit, info EpochInfo) {
+	d.view.Store(&View{
+		Epoch:  info.Epoch,
+		In:     d.in.Clone(),
+		Design: design.Clone(),
+		Audit:  audit,
+		Last:   info,
+	})
+}
+
+// serveTelemetryLocked refreshes the mounted obs endpoints after a solve.
+func (d *Daemon) serveTelemetryLocked(info EpochInfo, verdict live.SLOEpoch) {
+	d.srv.SetHealth(obs.HealthStatus{
+		OK: info.AuditOK, Running: true,
+		Scenario: d.base.Name, Policy: policyName(d.cfg),
+		Epoch: info.Epoch, Epochs: info.Epoch + 1,
+		AuditOK: info.AuditOK, SLOOk: info.SLOOk,
+	})
+	regions := make([]obs.RegionSLO, 0, len(verdict.Regions))
+	for _, ra := range verdict.Regions {
+		regions = append(regions, obs.RegionSLO{
+			Region: ra.Region, Active: ra.Active, Met: ra.Met,
+			Frac: ra.Frac, WindowFrac: ra.WindowFrac,
+		})
+	}
+	streams := make([]obs.StreamSLO, 0, len(verdict.Streams))
+	for _, sa := range verdict.Streams {
+		streams = append(streams, obs.StreamSLO{
+			Stream: sa.Stream, Active: sa.Active, Met: sa.Met,
+			Frac: sa.Frac, WindowFrac: sa.WindowFrac,
+		})
+	}
+	d.srv.SetSLO(obs.SLOStatus{
+		Window: d.slo.Window, Target: d.slo.Target,
+		Ok: verdict.Ok, WindowFrac: verdict.WindowFrac,
+		Breaches: d.slo.Breaches(), MinWindowFrac: d.slo.MinWindowFrac(),
+		Regions: regions, Streams: streams,
+	})
+	reg := d.reg
+	reg.Counter(obs.MEpochsTotal).Inc()
+	reg.Gauge(obs.MEpoch).Set(float64(info.Epoch))
+	reg.Gauge(obs.MEpochCost).Set(info.TrueCost)
+	reg.Gauge(obs.MActiveSinks).Set(float64(info.ActiveSinks))
+	reg.Gauge(obs.MBuiltReflectors).Set(float64(info.BuiltReflectors))
+	reg.Gauge(obs.MSLOWindowAvailability).Set(info.SLOWindowFrac)
+	if !info.SLOOk {
+		reg.Counter(obs.MSLOBreaches).Inc()
+	}
+	for _, sa := range verdict.Streams {
+		reg.Gauge(obs.MStreamAvailability, obs.L("stream", fmt.Sprint(sa.Stream))).Set(sa.Frac)
+	}
+	for _, ra := range verdict.Regions {
+		reg.Gauge(obs.MRegionAvailability, obs.L("region", fmt.Sprint(ra.Region))).Set(ra.Frac)
+	}
+}
+
+func policyName(cfg Config) string {
+	if cfg.WarmStart {
+		return fmt.Sprintf("warm+sticky(%.2f)", cfg.Stickiness)
+	}
+	return "cold"
+}
+
+// Run drives the solver loop until ctx is cancelled: a cadence timer
+// (Config.SolveInterval) and the pressure trigger both funnel into
+// SolveNow. On shutdown a final snapshot is written when a path is
+// configured, so a SIGTERM'd daemon always restarts warm.
+func (d *Daemon) Run(ctx context.Context) error {
+	var tick <-chan time.Time
+	if d.cfg.SolveInterval > 0 {
+		t := time.NewTicker(d.cfg.SolveInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			if d.cfg.SnapshotPath != "" {
+				if err := d.SaveSnapshot(d.cfg.SnapshotPath); err != nil {
+					return fmt.Errorf("daemon: shutdown snapshot: %w", err)
+				}
+			}
+			return nil
+		case <-d.kick:
+			if _, err := d.SolveNow(); err != nil {
+				return err
+			}
+		case <-tick:
+			if _, err := d.SolveNow(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// Scenario exports the full ingest history as a replayable live.Scenario:
+// the instance the daemon booted from (or was restored with, verbatim from
+// the snapshot's base) plus every delta ever ingested, epoch-tagged. The
+// export validates, so overlaylive -replay accepts it as-is.
+func (d *Daemon) Scenario() (*live.Scenario, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	epochs := d.sess.Steps()
+	for _, ev := range d.events {
+		if ev.Epoch+1 > epochs {
+			epochs = ev.Epoch + 1
+		}
+	}
+	if epochs == 0 {
+		epochs = 1
+	}
+	sc := &live.Scenario{
+		Name:       "overlayd",
+		Seed:       d.cfg.Solver.Seed,
+		Epochs:     epochs,
+		Events:     append([]live.Event(nil), d.events...),
+		Base:       d.base.Clone(),
+		SinkRegion: append([]int(nil), d.cfg.SinkRegion...),
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("daemon: exported scenario invalid: %w", err)
+	}
+	return sc, nil
+}
+
+// Status is the /status payload.
+type Status struct {
+	Epoch int `json:"epoch"`
+	// PendingDeltas/PendingEdits describe the unsolved queue.
+	PendingDeltas int    `json:"pending_deltas"`
+	PendingEdits  int    `json:"pending_edits"`
+	EventsLogged  int    `json:"events_logged"`
+	Policy        string `json:"policy"`
+	Incremental   bool   `json:"incremental"`
+	Totals        Totals `json:"totals"`
+	// Last is the most recent solve's summary (zero Epoch with Solves==0
+	// only right after a restore, which publishes without solving).
+	Last          EpochInfo `json:"last"`
+	SnapshotPath  string    `json:"snapshot_path,omitempty"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+}
+
+// Status reports the daemon's control-plane state.
+func (d *Daemon) Status() Status {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := Status{
+		Epoch:         d.sess.Steps() - 1,
+		PendingDeltas: len(d.queue),
+		PendingEdits:  d.qEdits,
+		EventsLogged:  len(d.events),
+		Policy:        policyName(d.cfg),
+		Incremental:   d.sess.Incremental(),
+		Totals:        d.totals,
+		SnapshotPath:  d.cfg.SnapshotPath,
+		UptimeSeconds: time.Since(d.start).Seconds(),
+	}
+	if v := d.View(); v != nil {
+		st.Last = v.Last
+	}
+	return st
+}

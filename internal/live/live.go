@@ -229,6 +229,9 @@ type EpochReport struct {
 	// when the scenario carries a SinkRegion map). Deterministic like the
 	// audit it derives from.
 	Regions []RegionAvail `json:"regions,omitempty"`
+	// Streams breaks availability down by stream (commodity) — present on
+	// every multi-commodity instance, no scenario map needed.
+	Streams []StreamAvail `json:"streams,omitempty"`
 	// Packet-sim quality: meaningful only when SimRan is true (the epoch
 	// was simulated). The numeric fields are always serialized so a
 	// measured zero is distinguishable from "not simulated".
@@ -350,18 +353,12 @@ func Run(sc *Scenario, cfg Config) (*RunReport, error) {
 		Scenario: sc.Name, Policy: cfg.Policy, Seed: sc.Seed, AllAuditOK: true,
 		SLOWindow: cfg.SLOWindow, SLOTarget: cfg.SLOTarget, MinSLOWindow: 1,
 	}
-	sloOK := 0 // epochs in the current trailing window meeting the target
-
-	// Per-region SLO tracking (only with a SinkRegion map): the same
-	// window/target rule as the global tracker, applied region-locally.
-	numRegions := 0
-	for _, reg := range sc.SinkRegion {
-		if reg+1 > numRegions {
-			numRegions = reg + 1
-		}
-	}
-	regHist := make([][]bool, numRegions) // per-region per-epoch ok
-	regOK := make([]int, numRegions)      // trailing-window ok counts
+	// The SLO state machine: global trailing window plus the per-region
+	// (scenario SinkRegion map) and per-stream (instance Commodity map)
+	// breakdowns. The daemon reuses the same tracker over its ingested
+	// timeline, so the engine and the service can never disagree on what
+	// "available" means.
+	slo := NewSLOTracker(cfg.SLOWindow, cfg.SLOTarget, sc.SinkRegion, in.Commodity)
 
 	for e := 0; e < sc.Epochs; e++ {
 		er := EpochReport{Epoch: e}
@@ -450,63 +447,15 @@ func Run(sc *Scenario, cfg Config) (*RunReport, error) {
 		// Availability SLO: an epoch is available when at least SLOTarget
 		// of its active sinks meet their exact reliability threshold; the
 		// tracker reports the fraction of available epochs over a trailing
-		// window (the alerting-style view of §1.3's monitoring loop).
-		er.SLOOk = er.ActiveSinks == 0 ||
-			float64(er.MetDemand) >= cfg.SLOTarget*float64(er.ActiveSinks)-1e-9
-		if er.SLOOk {
-			sloOK++
-		} else {
-			rep.SLOBreaches++
-		}
-		if drop := e - cfg.SLOWindow; drop >= 0 && rep.Epochs[drop].SLOOk {
-			sloOK--
-		}
-		window := cfg.SLOWindow
-		if e+1 < window {
-			window = e + 1
-		}
-		er.SLOWindowFrac = float64(sloOK) / float64(window)
-		if er.SLOWindowFrac < rep.MinSLOWindow {
-			rep.MinSLOWindow = er.SLOWindowFrac
-		}
-
-		// Per-region availability: the audit's per-unit met flags sliced by
-		// the scenario's region map, each region running its own trailing
-		// window so /slo can show where an outage actually landed.
-		if numRegions > 0 {
-			active := make([]int, numRegions)
-			met := make([]int, numRegions)
-			for j, reg := range sc.SinkRegion {
-				if in.Threshold[j] > 0 {
-					active[reg]++
-					if res.Audit.Met[j] {
-						met[reg]++
-					}
-				}
-			}
-			for reg := 0; reg < numRegions; reg++ {
-				ok := active[reg] == 0 ||
-					float64(met[reg]) >= cfg.SLOTarget*float64(active[reg])-1e-9
-				if ok {
-					regOK[reg]++
-				}
-				regHist[reg] = append(regHist[reg], ok)
-				if drop := e - cfg.SLOWindow; drop >= 0 && regHist[reg][drop] {
-					regOK[reg]--
-				}
-				frac := 1.0
-				if active[reg] > 0 {
-					frac = float64(met[reg]) / float64(active[reg])
-				}
-				er.Regions = append(er.Regions, RegionAvail{
-					Region:     reg,
-					Active:     active[reg],
-					Met:        met[reg],
-					Frac:       frac,
-					WindowFrac: float64(regOK[reg]) / float64(window),
-				})
-			}
-		}
+		// window (the alerting-style view of §1.3's monitoring loop), plus
+		// the per-region and per-stream breakdowns behind /slo.
+		verdict := slo.Observe(in.Threshold, res.Audit.Met)
+		er.SLOOk = verdict.Ok
+		er.SLOWindowFrac = verdict.WindowFrac
+		er.Regions = verdict.Regions
+		er.Streams = verdict.Streams
+		rep.SLOBreaches = slo.Breaches()
+		rep.MinSLOWindow = slo.MinWindowFrac()
 
 		if cfg.SimPackets > 0 && e%cfg.SimEvery == 0 {
 			scfg := sim.DefaultConfig(sc.Seed + 0x5deece66d*uint64(e+1))
@@ -591,6 +540,9 @@ func recordEpoch(r *obs.Registry, er EpochReport) {
 	}
 	for _, ra := range er.Regions {
 		r.Gauge(obs.MRegionAvailability, obs.L("region", strconv.Itoa(ra.Region))).Set(ra.Frac)
+	}
+	for _, sa := range er.Streams {
+		r.Gauge(obs.MStreamAvailability, obs.L("stream", strconv.Itoa(sa.Stream))).Set(sa.Frac)
 	}
 }
 

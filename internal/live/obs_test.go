@@ -124,6 +124,59 @@ func TestPerRegionSLOBreakdown(t *testing.T) {
 	}
 }
 
+// TestPerStreamSLOBreakdown locks the per-stream availability rows on a
+// multi-stream scenario: every epoch reports one row per stream, the rows
+// partition the active demand units (a unit belongs to exactly one
+// commodity), and the registry's labeled stream gauges mirror the last
+// epoch's fractions.
+func TestPerStreamSLOBreakdown(t *testing.T) {
+	sc, err := Make("streamwave", 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	numStreams := 0
+	for _, k := range sc.Base.Commodity {
+		if k+1 > numStreams {
+			numStreams = k + 1
+		}
+	}
+	if numStreams < 2 {
+		t.Fatalf("scenario has %d streams; the breakdown needs several", numStreams)
+	}
+	reg := obs.NewRegistry()
+	cfg := Config{Policy: WarmStickyPolicy(), Obs: &obs.Observer{Reg: reg}}
+	rep, err := Run(sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, er := range rep.Epochs {
+		if len(er.Streams) != numStreams {
+			t.Fatalf("epoch %d: %d stream rows, want %d", er.Epoch, len(er.Streams), numStreams)
+		}
+		active, met := 0, 0
+		for k, sa := range er.Streams {
+			if sa.Stream != k {
+				t.Fatalf("epoch %d: stream row %d labeled %d", er.Epoch, k, sa.Stream)
+			}
+			active += sa.Active
+			met += sa.Met
+		}
+		if active != er.ActiveSinks {
+			t.Fatalf("epoch %d: stream rows cover %d active sinks, epoch has %d", er.Epoch, active, er.ActiveSinks)
+		}
+		if met != er.MetDemand {
+			t.Fatalf("epoch %d: stream rows cover %d met units, epoch has %d", er.Epoch, met, er.MetDemand)
+		}
+	}
+	last := rep.Epochs[len(rep.Epochs)-1]
+	for _, sa := range last.Streams {
+		got := reg.Gauge(obs.MStreamAvailability, obs.L("stream", itoa(sa.Stream))).Value()
+		if got != sa.Frac {
+			t.Fatalf("stream %d gauge %v != last epoch frac %v", sa.Stream, got, sa.Frac)
+		}
+	}
+}
+
 // itoa avoids importing strconv for single-digit region labels in tests.
 func itoa(n int) string {
 	if n < 0 || n > 9 {

@@ -1,6 +1,7 @@
 package netmodel
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -49,6 +50,45 @@ func LoadFile(path string) (*Instance, error) {
 	}
 	defer f.Close()
 	return ReadJSON(f)
+}
+
+// DecodeDeltas parses one Delta or a JSON array of Deltas from r, strictly:
+// unknown fields are rejected, so a typo'd edit key ("set_treshold") fails
+// loudly instead of silently ingesting an empty delta — the failure mode a
+// long-running provisioning endpoint cannot afford. Validation against an
+// instance is the caller's job (the deltas may be bound for an instance the
+// decoder has no business knowing about).
+func DecodeDeltas(r io.Reader) ([]Delta, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("netmodel: reading deltas: %w", err)
+	}
+	strict := func(raw []byte, v any) error {
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(v); err != nil {
+			return err
+		}
+		// Trailing garbage after the value is a malformed request too.
+		if dec.More() {
+			return fmt.Errorf("trailing data after delta payload")
+		}
+		return nil
+	}
+	// Sniff the first token so unknown-field errors surface as themselves
+	// instead of as a shape mismatch from the wrong decode attempt.
+	if arr := bytes.TrimLeft(data, " \t\r\n"); len(arr) > 0 && arr[0] == '[' {
+		var list []Delta
+		if err := strict(data, &list); err != nil {
+			return nil, fmt.Errorf("netmodel: decode deltas: %w", err)
+		}
+		return list, nil
+	}
+	var one Delta
+	if err := strict(data, &one); err != nil {
+		return nil, fmt.Errorf("netmodel: decode deltas: %w", err)
+	}
+	return []Delta{one}, nil
 }
 
 // WriteDesignJSON serializes a design to w.

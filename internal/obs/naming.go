@@ -27,6 +27,7 @@ const (
 	MSLOWindowAvailability = "overlay_slo_window_availability"
 	MSLOBreaches           = "overlay_slo_breaches_total"
 	MRegionAvailability    = "overlay_region_slo_availability"
+	MStreamAvailability    = "overlay_stream_slo_availability"
 
 	// Solve pipeline (internal/core). Stage walls carry a stage label with
 	// the pipeline stage name (lp-build, lp-patch, lp-solve, round,
@@ -86,6 +87,7 @@ var canonicalFamilies = []struct {
 	{MSLOWindowAvailability, KindGauge, "Fraction of the trailing SLO window's epochs that met the availability target."},
 	{MSLOBreaches, KindCounter, "Epochs that missed the availability target."},
 	{MRegionAvailability, KindGauge, "Per-region fraction of active sinks meeting their reliability threshold."},
+	{MStreamAvailability, KindGauge, "Per-stream fraction of active sinks meeting their reliability threshold."},
 	{MSolvesTotal, KindCounter, "Full pipeline solves (one per epoch, plus one-shot CLI solves)."},
 	{MStageWall, KindHistogram, "Wall time per pipeline stage run, labeled by stage."},
 	{MStageRuns, KindCounter, "Pipeline stage executions, labeled by stage."},
@@ -122,7 +124,7 @@ func Canonical(r *Registry) {
 		// Instantiate unlabeled families at zero; labeled families
 		// (stage, region) materialize with their first labeled series.
 		switch f.Name {
-		case MStageWall, MStageRuns, MRegionAvailability:
+		case MStageWall, MStageRuns, MRegionAvailability, MStreamAvailability:
 		default:
 			switch f.Kind {
 			case KindCounter:

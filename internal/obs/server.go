@@ -41,8 +41,23 @@ type RegionSLO struct {
 	WindowFrac float64 `json:"window_frac"`
 }
 
+// StreamSLO is one stream's row of the /slo breakdown: the region rule
+// applied stream-locally, answering "which channel is degraded" where
+// RegionSLO answers "where did the outage land".
+type StreamSLO struct {
+	Stream int `json:"stream"`
+	// Active/Met count this epoch's active demand units on the stream and
+	// how many met their reliability threshold; Frac is Met/Active.
+	Active int     `json:"active_sinks"`
+	Met    int     `json:"met"`
+	Frac   float64 `json:"frac"`
+	// WindowFrac is the trailing-window availability of the stream alone.
+	WindowFrac float64 `json:"window_frac"`
+}
+
 // SLOStatus is the /slo payload: the windowed availability SLO plus
-// per-region breakdowns (the alerting view of the §1.3 monitoring loop).
+// per-region and per-stream breakdowns (the alerting view of the §1.3
+// monitoring loop).
 type SLOStatus struct {
 	Window int     `json:"window"`
 	Target float64 `json:"target"`
@@ -53,6 +68,7 @@ type SLOStatus struct {
 	Breaches      int         `json:"breaches"`
 	MinWindowFrac float64     `json:"min_window_frac"`
 	Regions       []RegionSLO `json:"regions,omitempty"`
+	Streams       []StreamSLO `json:"streams,omitempty"`
 }
 
 // Server is the opt-in debug/telemetry endpoint: /metrics (Prometheus

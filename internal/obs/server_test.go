@@ -100,6 +100,10 @@ func TestServerSLOBreach(t *testing.T) {
 			{Region: 0, Active: 16, Met: 14, Frac: 0.875, WindowFrac: 1},
 			{Region: 1, Active: 16, Met: 2, Frac: 0.125, WindowFrac: 0.25},
 		},
+		Streams: []StreamSLO{
+			{Stream: 0, Active: 20, Met: 16, Frac: 0.8, WindowFrac: 1},
+			{Stream: 1, Active: 12, Met: 0, Frac: 0, WindowFrac: 0.125},
+		},
 	})
 	code, body := get(t, srv, "/slo")
 	if code != http.StatusOK {
@@ -109,11 +113,14 @@ func TestServerSLOBreach(t *testing.T) {
 	if err := json.Unmarshal([]byte(body), &sl); err != nil {
 		t.Fatal(err)
 	}
-	if sl.Ok || sl.Breaches != 3 || len(sl.Regions) != 2 {
+	if sl.Ok || sl.Breaches != 3 || len(sl.Regions) != 2 || len(sl.Streams) != 2 {
 		t.Fatalf("bad SLO payload: %+v", sl)
 	}
 	if sl.Regions[1].Frac >= sl.Target {
 		t.Fatalf("breaching region not visible: %+v", sl.Regions[1])
+	}
+	if sl.Streams[1].Frac >= sl.Target {
+		t.Fatalf("breaching stream not visible: %+v", sl.Streams[1])
 	}
 }
 
